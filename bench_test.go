@@ -1,0 +1,192 @@
+package unijoin
+
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark
+// runs the corresponding experiment end to end — data generation,
+// index construction, join, and cost accounting on the simulated
+// machines — at a reduced scale chosen so `go test -bench=.` finishes
+// in minutes. Run `go run ./cmd/sjbench` for the full printed tables
+// at the default 1/100 scale, or pass -scale to push further.
+//
+// Benchmark output is wall time of the whole experiment on the host;
+// the interesting simulated numbers are printed by sjbench and
+// recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"unijoin/internal/experiments"
+	"unijoin/internal/rtree"
+	"unijoin/internal/tiger"
+)
+
+// benchConfig scales the experiments for benchmarking: all six data
+// sets at 1/500 of the paper's sizes (large enough that every tree
+// outgrows the scaled buffer pool on the DISK sets).
+func benchConfig(b *testing.B) experiments.Config {
+	cfg := experiments.Config{
+		Tiger: tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40},
+	}
+	if testing.Short() {
+		cfg.Sets = []string{"NJ", "NY"}
+	}
+	return cfg
+}
+
+// runExperiment executes one registry experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	cfg := benchConfig(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunTable(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkTable1MachineModels regenerates Table 1 (machine constants
+// and derived random/sequential cost ratios).
+func BenchmarkTable1MachineModels(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2DatasetBuild regenerates Table 2: data set sizes,
+// R-tree sizes, and join output cardinalities.
+func BenchmarkTable2DatasetBuild(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3PQMemory regenerates Table 3: the PQ join's priority
+// queue and sweep structure memory high-water marks.
+func BenchmarkTable3PQMemory(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4PageRequests regenerates Table 4: pages requested by
+// PQ (optimal) and ST (pool-dependent) against the lower bound.
+func BenchmarkTable4PageRequests(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig2EstimatedVsObserved regenerates Figure 2: estimated
+// versus observed PQ/ST costs on all three machines.
+func BenchmarkFig2EstimatedVsObserved(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3AllAlgorithms regenerates Figure 3: observed costs of
+// SSSJ, PBSM, PQ, and ST on all three machines.
+func BenchmarkFig3AllAlgorithms(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkSelectiveCrossover regenerates the Section 6.3 selective
+// join sweep with the cost-model crossover.
+func BenchmarkSelectiveCrossover(b *testing.B) {
+	cfg := experiments.Config{
+		Tiger: tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40},
+		Sets:  []string{"DISK1"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Selective(cfg, "DISK1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneIndexStrategies compares the strategies for the
+// one-index case the paper's Section 2 surveys: unified PQ, seeded
+// tree + ST, indexed nested loop, and ignoring the index.
+func BenchmarkOneIndexStrategies(b *testing.B) {
+	cfg := experiments.Config{
+		Tiger: tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40},
+		Sets:  []string{"DISK1"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.OneIndex(cfg, "DISK1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBFRJVsST compares depth-first and breadth-first index joins
+// across buffer pool sizes.
+func BenchmarkBFRJVsST(b *testing.B) {
+	cfg := experiments.Config{
+		Tiger: tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40},
+		Sets:  []string{"DISK1"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BFRJCompare(cfg, "DISK1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks (design choices DESIGN.md calls out).
+
+// BenchmarkAblationSweepStructures compares Striped- and Forward-Sweep
+// inside SSSJ (the 2-5x claim of Arge et al. [4]).
+func BenchmarkAblationSweepStructures(b *testing.B) { runExperiment(b, "abl-sweep") }
+
+// BenchmarkAblationSTBufferPool sweeps ST's buffer pool size.
+func BenchmarkAblationSTBufferPool(b *testing.B) { runExperiment(b, "abl-pool") }
+
+// BenchmarkAblationPackingPolicy compares 75%+20% packing with 100%.
+func BenchmarkAblationPackingPolicy(b *testing.B) { runExperiment(b, "abl-pack") }
+
+// BenchmarkAblationPBSMTiles compares PBSM tile resolutions.
+func BenchmarkAblationPBSMTiles(b *testing.B) { runExperiment(b, "abl-tiles") }
+
+// BenchmarkAblationPQLeafStreaming quantifies the Section 4
+// leaf-streaming optimization of the scanner.
+func BenchmarkAblationPQLeafStreaming(b *testing.B) { runExperiment(b, "abl-leafstream") }
+
+// BenchmarkAblationLayoutShuffle measures ST and PQ on bulk-loaded
+// versus shuffled index layouts (Section 6.2).
+func BenchmarkAblationLayoutShuffle(b *testing.B) { runExperiment(b, "abl-layout") }
+
+// Micro-benchmarks of the hot kernels, for regression tracking.
+
+// BenchmarkKernelSortedScan measures raw sorted extraction from an
+// R-tree (the PQ index adapter).
+func BenchmarkKernelSortedScan(b *testing.B) {
+	cfg := tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40}
+	env, err := experiments.Prepare(experiments.Config{Tiger: cfg}, tiger.NY)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := env.RoadsTree.Scanner(rtree.StoreReader{Store: env.Store})
+		n := 0
+		for {
+			_, ok, err := sc.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if int64(n) != env.RoadsTree.NumRecords() {
+			b.Fatalf("scanned %d of %d", n, env.RoadsTree.NumRecords())
+		}
+	}
+}
+
+// BenchmarkKernelRTreeBuild measures Hilbert bulk loading.
+func BenchmarkKernelRTreeBuild(b *testing.B) {
+	cfg := tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40}
+	roads, _ := cfg.Generate(tiger.NY)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := NewWorkspace()
+		ws.SetUniverse(tiger.NY.Region)
+		rel, err := ws.AddRelation(roads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rel.BuildIndex(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

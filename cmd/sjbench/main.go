@@ -1,0 +1,60 @@
+// Command sjbench regenerates the tables and figures of the paper's
+// evaluation on the synthetic TIGER-like data sets and the simulated
+// machines of Table 1.
+//
+// Usage:
+//
+//	sjbench [-exp id[,id...]] [-scale f] [-sets NJ,NY,...] [-seed n]
+//
+// With no -exp flag, every experiment runs in DESIGN.md order:
+// table1 table2 table3 table4 fig2 fig3 sel and the ablations. The
+// default scale (0.01) shrinks the paper's data sets 100x, with memory
+// budgets scaled to match, so the relative shapes of all results are
+// preserved while a full run completes in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unijoin/internal/experiments"
+	"unijoin/internal/tiger"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs, " "))
+		scale = flag.Float64("scale", 0.01, "data scale relative to the paper's Table 2 sizes, in (0,1]")
+		sets  = flag.String("sets", "", "comma-separated data set names (default: all six)")
+		seed  = flag.Int64("seed", 1997, "generation seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Tiger: tiger.Config{Scale: *scale, Seed: *seed, Clusters: 40},
+	}
+	if *sets != "" {
+		cfg.Sets = strings.Split(*sets, ",")
+	}
+
+	ids := experiments.IDs
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		if err := experiments.Run(strings.TrimSpace(id), cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

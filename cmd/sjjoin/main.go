@@ -1,0 +1,155 @@
+// Command sjjoin joins two record files produced by sjgen and reports
+// the result cardinality and the simulated cost on the paper's three
+// machines.
+//
+// Usage:
+//
+//	sjjoin -a ny.roads.bin -b ny.hydro.bin -alg PQ [-index a,b] [-out pairs.bin]
+//
+// Algorithms: PQ (default), SSSJ, PBSM, ST, auto. ST requires
+// "-index a,b". With -out, the resulting ID pairs are written as
+// 8-byte little-endian records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unijoin"
+	"unijoin/internal/geom"
+)
+
+func main() {
+	var (
+		aPath = flag.String("a", "", "left input file (20-byte MBR records)")
+		bPath = flag.String("b", "", "right input file")
+		alg   = flag.String("alg", "PQ", "algorithm: PQ SSSJ PBSM ST auto")
+		index = flag.String("index", "", "which sides to index: a, b, or a,b")
+		out   = flag.String("out", "", "optional output file for result ID pairs")
+	)
+	flag.Parse()
+	if *aPath == "" || *bPath == "" {
+		fail(fmt.Errorf("both -a and -b are required"))
+	}
+
+	recsA, err := readRecords(*aPath)
+	if err != nil {
+		fail(err)
+	}
+	recsB, err := readRecords(*bPath)
+	if err != nil {
+		fail(err)
+	}
+
+	ws := unijoin.NewWorkspace()
+	a, err := ws.AddNamedRelation(*aPath, recsA)
+	if err != nil {
+		fail(err)
+	}
+	b, err := ws.AddNamedRelation(*bPath, recsB)
+	if err != nil {
+		fail(err)
+	}
+	for _, side := range strings.Split(*index, ",") {
+		switch strings.TrimSpace(side) {
+		case "a":
+			err = a.BuildIndex()
+		case "b":
+			err = b.BuildIndex()
+		case "":
+		default:
+			err = fmt.Errorf("unknown -index side %q", side)
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	algorithm, err := parseAlg(*alg)
+	if err != nil {
+		fail(err)
+	}
+
+	var outFile *os.File
+	var emit func(unijoin.Pair)
+	if *out != "" {
+		outFile, err = os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer outFile.Close()
+		buf := make([]byte, geom.PairSize)
+		emit = func(p unijoin.Pair) {
+			geom.EncodePair(buf, p)
+			if _, err := outFile.Write(buf); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	res, err := ws.Join(algorithm, a, b, &unijoin.JoinOptions{Emit: emit})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("algorithm:       %s\n", algorithm)
+	fmt.Printf("inputs:          %d x %d records\n", a.Len(), b.Len())
+	fmt.Printf("result pairs:    %d\n", res.Pairs)
+	fmt.Printf("page accesses:   %d (%d seq reads, %d rand reads, %d writes)\n",
+		res.IO.Total(), res.IO.SeqReads, res.IO.RandReads, res.IO.Writes())
+	if res.PageRequests > 0 {
+		fmt.Printf("index requests:  %d\n", res.PageRequests)
+	}
+	if res.Decision != nil {
+		fmt.Printf("plan:            %s\n", *res.Decision)
+	}
+	fmt.Printf("host cpu:        %v\n", res.HostCPU)
+	for _, m := range unijoin.Machines {
+		fmt.Printf("%-28s cpu %7.2fs  io %7.2fs  total %7.2fs\n",
+			m.Name+":", res.CPUTime(m).Seconds(),
+			res.ObservedIOTime(m).Seconds(), res.ObservedTotal(m).Seconds())
+	}
+	if outFile != nil {
+		fmt.Printf("pairs written:   %s\n", *out)
+	}
+}
+
+func parseAlg(s string) (unijoin.Algorithm, error) {
+	switch strings.ToUpper(s) {
+	case "PQ":
+		return unijoin.AlgPQ, nil
+	case "SSSJ":
+		return unijoin.AlgSSSJ, nil
+	case "PBSM":
+		return unijoin.AlgPBSM, nil
+	case "ST":
+		return unijoin.AlgST, nil
+	case "AUTO":
+		return unijoin.AlgAuto, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func readRecords(path string) ([]unijoin.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data)%geom.RecordSize != 0 {
+		return nil, fmt.Errorf("%s: %d bytes is not a whole number of %d-byte records",
+			path, len(data), geom.RecordSize)
+	}
+	recs := make([]unijoin.Record, 0, len(data)/geom.RecordSize)
+	for off := 0; off < len(data); off += geom.RecordSize {
+		recs = append(recs, geom.DecodeRecord(data[off:]))
+	}
+	return recs, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sjjoin:", err)
+	os.Exit(1)
+}

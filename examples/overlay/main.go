@@ -1,0 +1,63 @@
+// Overlay: the paper's motivating GIS workload — join the road network
+// of a region against its hydrography to find every road/water
+// crossing, comparing all four algorithms on the same data.
+//
+// This is the Figure 3 experiment in miniature: generate the synthetic
+// NY data set, build indexes, run SSSJ, PBSM, PQ, and ST, and report
+// pair counts, page traffic, and simulated running times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unijoin"
+	"unijoin/internal/datagen"
+)
+
+func main() {
+	universe := unijoin.NewRect(0, 0, 2000, 1400)
+	terrain := datagen.NewTerrain(7, universe, 30)
+	roads := datagen.Roads(terrain, 11, 40000, datagen.RoadParams{})
+	hydro := datagen.Hydro(terrain, 12, 8000, datagen.HydroParams{})
+
+	ws := unijoin.NewWorkspace()
+	ws.SetUniverse(universe)
+	r, err := ws.AddNamedRelation("roads", roads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := ws.AddNamedRelation("hydro", hydro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.BuildIndex(); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.BuildIndex(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("roads: %d records, %d index pages; hydro: %d records, %d index pages\n\n",
+		r.Len(), r.IndexNodes(), h.Len(), h.IndexNodes())
+
+	opts := &unijoin.JoinOptions{
+		MemoryBytes:     1 << 20, // scale memory with the data
+		BufferPoolBytes: 900 << 10,
+	}
+	fmt.Printf("%-6s %10s %10s %12s %12s %12s\n",
+		"alg", "pairs", "pages", "machine1", "machine2", "machine3")
+	for _, alg := range []unijoin.Algorithm{unijoin.AlgSSSJ, unijoin.AlgPBSM, unijoin.AlgPQ, unijoin.AlgST} {
+		res, err := ws.Join(alg, r, h, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %10d %10d %11.2fs %11.2fs %11.2fs\n",
+			alg, res.Pairs, res.IO.Total(),
+			res.ObservedTotal(unijoin.Machine1).Seconds(),
+			res.ObservedTotal(unijoin.Machine2).Seconds(),
+			res.ObservedTotal(unijoin.Machine3).Seconds())
+	}
+	fmt.Println("\nNote the paper's Figure 3 shape: the sort-based join moves the most")
+	fmt.Println("pages but its I/O is sequential; the index traversals touch far fewer")
+	fmt.Println("pages but pay a seek for most of them.")
+}

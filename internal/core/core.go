@@ -1,0 +1,252 @@
+// Package core implements the spatial join algorithms the paper
+// builds and compares (Sections 3 and 4), all over the simulated disk:
+//
+//   - SSSJ   — Scalable Sweeping-based Spatial Join [4]: external sort
+//     by lower y, then one plane sweep (plus the slab-partitioned
+//     fallback for adversarial inputs).
+//   - PBSM   — Partition-based Spatial Merge join [30]: tile-hash
+//     partitioning followed by an in-memory sweep per partition.
+//   - ST     — Synchronized R-tree traversal [8] with an LRU buffer
+//     pool and the search-space restriction of the original paper.
+//   - PQ     — the paper's contribution: Priority-Queue-driven
+//     traversal, which extracts indexed inputs in sorted order and
+//     feeds the same sweep as SSSJ, unifying both approaches; it
+//     accepts any mix of indexed and non-indexed inputs and extends
+//     to multi-way joins (MultiwayPQ).
+//
+// A Planner implements the paper's Section 6.3 cost model: choose the
+// index path only when the estimated fraction of leaf pages touched is
+// below the machine-specific random-vs-sequential break-even point.
+//
+// All joins compute the filter step: every pair of intersecting MBRs,
+// each exactly once, with the left component from the first input.
+// Following the paper's accounting, the cost of reporting (writing)
+// the output is excluded: results go to an optional Emit callback.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+	"unijoin/internal/rtree"
+	"unijoin/internal/stream"
+	"unijoin/internal/sweep"
+)
+
+// Input is one join relation: a record stream, an R-tree, or both.
+// The unified PQ join uses whichever representation the plan calls
+// for; SSSJ/PBSM require File, ST requires Tree.
+type Input struct {
+	File *iosim.File
+	Tree *rtree.Tree
+}
+
+// FileInput wraps a non-indexed record stream.
+func FileInput(f *iosim.File) Input { return Input{File: f} }
+
+// TreeInput wraps an indexed relation.
+func TreeInput(t *rtree.Tree) Input { return Input{Tree: t} }
+
+// Indexed reports whether the input has a spatial index.
+func (in Input) Indexed() bool { return in.Tree != nil }
+
+// Options configures a join run. The zero value of every field has a
+// sensible default; Store and Universe are required.
+type Options struct {
+	// Store is the simulated disk all inputs live on.
+	Store *iosim.Store
+	// Universe bounds the data of both inputs; it sizes the striped
+	// sweep structure and PBSM's tile grid.
+	Universe geom.Rect
+
+	// MemoryBytes is the simulated internal-memory budget (sorting
+	// runs, PBSM partitions). Default 24 MB, the paper's machines.
+	MemoryBytes int
+	// BufferPoolBytes is the LRU pool available to ST. Default 22 MB.
+	BufferPoolBytes int
+
+	// Strips is the striped-sweep strip count (default
+	// sweep.DefaultStrips). Ignored when UseForwardSweep is set.
+	Strips int
+	// UseForwardSweep switches the main sweep kernel from
+	// Striped-Sweep to Forward-Sweep (for the ablation of [4]).
+	UseForwardSweep bool
+
+	// PBSMTilesPerAxis is the tile grid resolution (default 128, the
+	// value the paper settled on; 32 reproduces Patel and DeWitt's
+	// original and overflows on clustered data).
+	PBSMTilesPerAxis int
+	// PBSMPartitions overrides the computed partition count (0 = auto:
+	// enough partitions that a partition's share of both inputs fits in
+	// memory).
+	PBSMPartitions int
+	// PBSMSortDedup switches duplicate elimination to Patel and
+	// DeWitt's original strategy: emit candidate pairs with duplicates,
+	// then externally sort the pair stream and drop repeats. The
+	// default reference-tile test produces identical output with no
+	// extra sort; this mode exists for fidelity comparisons and charges
+	// the extra sort I/O honestly.
+	PBSMSortDedup bool
+
+	// Window restricts a PQ join to records intersecting this
+	// rectangle (both sides); used for the selective joins of §6.3.
+	Window *geom.Rect
+	// RestrictScanners makes PQ tree scanners skip subtrees that
+	// cannot intersect the other input's bounding rectangle — the
+	// "slightly more complicated version" of Section 4. It has no
+	// effect when the inputs overlap fully (as in all of Figure 2/3)
+	// but is what makes selective joins cheap.
+	RestrictScanners bool
+
+	// Emit receives every result pair. nil counts pairs without
+	// reporting them, matching the paper's cost accounting, which
+	// excludes output writing.
+	Emit func(geom.Pair)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Store == nil {
+		return o, fmt.Errorf("core: Options.Store is required")
+	}
+	if !o.Universe.Valid() {
+		return o, fmt.Errorf("core: Options.Universe %v is invalid", o.Universe)
+	}
+	if o.MemoryBytes == 0 {
+		o.MemoryBytes = 24 << 20
+	}
+	if o.MemoryBytes < 4*o.Store.PageSize() {
+		o.MemoryBytes = 4 * o.Store.PageSize()
+	}
+	if o.BufferPoolBytes == 0 {
+		o.BufferPoolBytes = 22 << 20
+	}
+	if o.Strips == 0 {
+		o.Strips = sweep.DefaultStrips
+	}
+	if o.PBSMTilesPerAxis == 0 {
+		o.PBSMTilesPerAxis = 128
+	}
+	return o, nil
+}
+
+// newStructure builds the configured sweep structure.
+func (o Options) newStructure() sweep.Structure {
+	if o.UseForwardSweep {
+		return sweep.NewForward()
+	}
+	return sweep.NewStripedFor(o.Universe, o.Strips)
+}
+
+// emitPair multiplexes counting and the optional callback.
+func (o Options) emitPair(pairs *int64, ra, rb geom.Record) {
+	*pairs++
+	if o.Emit != nil {
+		o.Emit(geom.Pair{Left: ra.ID, Right: rb.ID})
+	}
+}
+
+// Result reports what a join did. Time is split the way the paper
+// splits it: measured computation (HostCPU, to be scaled by a
+// Machine) and simulated disk activity (IO counters, to be priced by
+// a DiskModel).
+type Result struct {
+	Algorithm string
+	Pairs     int64
+
+	// Sweep reports the plane-sweep kernel statistics (for SSSJ/PQ;
+	// zero value for PBSM/ST which sweep per partition or node pair).
+	Sweep sweep.Stats
+
+	// ScannerMaxBytes is the peak footprint of PQ's priority queues
+	// and leaf buffers (the "Priority Queue" rows of Table 3).
+	ScannerMaxBytes int
+	// SweepMaxBytes is the peak sweep-structure footprint (the "Sweep
+	// Structure" rows of Table 3).
+	SweepMaxBytes int
+
+	// PageRequests counts index page reads issued to the disk during
+	// the join (Table 4): scanner reads for PQ, pool misses for ST.
+	PageRequests int64
+	// LogicalRequests counts page requests before buffer-pool hits are
+	// removed (ST only; equals PageRequests for PQ).
+	LogicalRequests int64
+
+	// IO is the store counter delta over the whole join, including any
+	// sorting and partitioning passes, classified under the
+	// segmented-drive-cache model (Machines 1 and 3).
+	IO iosim.Counters
+	// IODirect is the same delta classified for a drive whose cache
+	// cannot track several sequential streams (Machine 2's 128 KB
+	// Medalist); interleaved streams all pay seeks.
+	IODirect iosim.Counters
+
+	// HostCPU is the measured wall-clock of the (single-threaded) join
+	// on the host, excluding simulated I/O pricing. Scale it with
+	// Machine.CPUTime.
+	HostCPU time.Duration
+
+	// SortStats describe the external sorts run on non-indexed inputs
+	// (SSSJ and PQ), in input order.
+	SortStats []stream.SortStats
+
+	// PBSM holds partitioning statistics when Algorithm == "PBSM".
+	PBSM *PBSMStats
+}
+
+// ObservedIOTime prices the join's disk activity on a machine,
+// distinguishing sequential from random accesses — the "observed"
+// methodology of Figure 2(d)-(f) and Figure 3. Machines with small
+// on-disk buffers (below 256 KB) use the single-stream classification,
+// reproducing the paper's Machine 2 observation that ST loses its
+// layout advantage there.
+func (r Result) ObservedIOTime(m iosim.Machine) time.Duration {
+	if m.Disk.OnDiskBufferKB < 256 {
+		return m.Disk.IOTime(r.IODirect, m.PageSize)
+	}
+	return m.Disk.IOTime(r.IO, m.PageSize)
+}
+
+// EstimatedIOTime prices the join the way earlier index-join studies
+// did (Figure 2(a)-(c)): every page access is charged the average
+// (random) read time.
+func (r Result) EstimatedIOTime(m iosim.Machine) time.Duration {
+	return m.Disk.EstimatedIOTime(r.IO.Total(), m.PageSize)
+}
+
+// CPUTime scales the measured computation onto a machine.
+func (r Result) CPUTime(m iosim.Machine) time.Duration {
+	return m.CPUTime(r.HostCPU)
+}
+
+// ObservedTotal is CPU plus observed I/O on a machine.
+func (r Result) ObservedTotal(m iosim.Machine) time.Duration {
+	return r.CPUTime(m) + r.ObservedIOTime(m)
+}
+
+// EstimatedTotal is CPU plus estimated I/O on a machine.
+func (r Result) EstimatedTotal(m iosim.Machine) time.Duration {
+	return r.CPUTime(m) + r.EstimatedIOTime(m)
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d pairs, io {%s}, cpu %v", r.Algorithm, r.Pairs, r.IO, r.HostCPU)
+}
+
+// run wraps the common measurement scaffolding: counter snapshot and
+// wall-clock timing around the join body.
+func run(o Options, name string, body func(res *Result) error) (Result, error) {
+	res := Result{Algorithm: name}
+	before := o.Store.Counters()
+	beforeDirect := o.Store.DirectCounters()
+	start := time.Now()
+	if err := body(&res); err != nil {
+		return Result{}, err
+	}
+	res.HostCPU = time.Since(start)
+	res.IO = o.Store.Counters().Sub(before)
+	res.IODirect = o.Store.DirectCounters().Sub(beforeDirect)
+	return res, nil
+}

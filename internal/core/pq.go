@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+	"unijoin/internal/rtree"
+	"unijoin/internal/stream"
+	"unijoin/internal/sweep"
+)
+
+// PQ runs the paper's Priority-Queue-Driven Traversal join (Section
+// 4): both inputs are turned into y-sorted record sources — an indexed
+// input through rtree.SortedScanner (the priority-queue index
+// adapter), a non-indexed input through an external sort exactly as in
+// SSSJ — and a single plane sweep joins the two sources. This is the
+// unification the paper contributes: one algorithm for
+// indexed/indexed, indexed/non-indexed, and non-indexed/non-indexed
+// inputs (the last being SSSJ itself).
+//
+// With Options.Window set, tree-backed sources skip subtrees outside
+// the window, and sorted file sources drop records outside it. With
+// Options.RestrictScanners, each tree scanner is additionally bounded
+// by the other input's MBR; this is a no-op when the inputs cover the
+// same region, which is why Table 4's PQ numbers equal the tree sizes.
+func PQ(opts Options, a, b Input) (Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if a.File == nil && a.Tree == nil || b.File == nil && b.Tree == nil {
+		return Result{}, fmt.Errorf("core: PQ inputs need a file or a tree")
+	}
+	return run(o, "PQ", func(res *Result) error {
+		sideA, err := pqSource(o, a, b)
+		if err != nil {
+			return err
+		}
+		defer sideA.release()
+		sideB, err := pqSource(o, b, a)
+		if err != nil {
+			return err
+		}
+		defer sideB.release()
+		st, err := sweep.Join(sideA.src, sideB.src, o.newStructure(), o.newStructure(),
+			func(ra, rb geom.Record) { o.emitPair(&res.Pairs, ra, rb) })
+		if err != nil {
+			return err
+		}
+		res.Sweep = st
+		res.SweepMaxBytes = st.MaxBytes
+		for _, side := range []pqSide{sideA, sideB} {
+			if side.scanner != nil {
+				res.ScannerMaxBytes += side.scanner.MaxBytes()
+				res.PageRequests += side.scanner.PagesRead()
+			}
+			if side.sort != nil {
+				res.SortStats = append(res.SortStats, *side.sort)
+			}
+		}
+		res.LogicalRequests = res.PageRequests
+		return nil
+	})
+}
+
+// pqSide is one prepared input of a PQ join: the y-sorted source plus
+// the statistics carriers, and the temporary sorted file (for
+// non-indexed inputs) to release when the join is done.
+type pqSide struct {
+	src     sweep.Source
+	scanner *rtree.SortedScanner
+	sort    *stream.SortStats
+	temp    *iosim.File
+}
+
+// release returns the side's scratch space to the store.
+func (s pqSide) release() {
+	if s.temp != nil {
+		s.temp.Release()
+	}
+}
+
+// pqSource builds the y-sorted source for one input. For indexed
+// inputs the scanner carries page and memory statistics; for
+// non-indexed inputs the external sort's statistics and temp file are
+// carried instead.
+func pqSource(o Options, in, other Input) (pqSide, error) {
+	if in.Tree != nil {
+		window, useWindow := pqWindow(o, other)
+		var sc *rtree.SortedScanner
+		if useWindow {
+			sc = in.Tree.WindowScanner(rtree.StoreReader{Store: o.Store}, window)
+		} else {
+			sc = in.Tree.Scanner(rtree.StoreReader{Store: o.Store})
+		}
+		return pqSide{src: sc, scanner: sc}, nil
+	}
+	sorted, stats, err := stream.Sort(o.Store, in.File, stream.Records, geom.ByLowerY, o.MemoryBytes)
+	if err != nil {
+		return pqSide{}, err
+	}
+	rd := stream.NewReader(sorted, stream.Records)
+	side := pqSide{src: rd, sort: &stats, temp: sorted}
+	if window, useWindow := pqWindow(o, other); useWindow {
+		side.src = &windowFilterSource{src: rd, window: window}
+	}
+	return side, nil
+}
+
+// pqWindow computes the restriction rectangle for one source given the
+// join options and the opposite input.
+func pqWindow(o Options, other Input) (geom.Rect, bool) {
+	have := false
+	w := geom.Rect{}
+	if o.Window != nil {
+		w, have = *o.Window, true
+	}
+	if o.RestrictScanners && other.Tree != nil {
+		m := other.Tree.MBR()
+		if m.Valid() {
+			if have {
+				in, ok := w.Intersection(m)
+				if !ok {
+					// Disjoint restriction: a window nothing intersects.
+					return geom.EmptyRect(), true
+				}
+				w = in
+			} else {
+				w, have = m, true
+			}
+		}
+	}
+	return w, have
+}
+
+// windowFilterSource drops records outside a window from a sorted
+// source, preserving order.
+type windowFilterSource struct {
+	src    sweep.Source
+	window geom.Rect
+}
+
+// Next implements sweep.Source.
+func (w *windowFilterSource) Next() (geom.Record, bool, error) {
+	for {
+		r, ok, err := w.src.Next()
+		if err != nil || !ok {
+			return r, ok, err
+		}
+		if r.Rect.Intersects(w.window) {
+			return r, true, nil
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unijoin/internal/geom"
+)
+
+func region() geom.Rect { return geom.NewRect(0, 0, 1000, 500) }
+
+func TestTerrainDeterministic(t *testing.T) {
+	a := NewTerrain(7, region(), 20)
+	b := NewTerrain(7, region(), 20)
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if a.Sample(rngA) != b.Sample(rngB) {
+			t.Fatal("same seed must give same terrain samples")
+		}
+	}
+}
+
+func TestTerrainSamplesStayInRegion(t *testing.T) {
+	terr := NewTerrain(3, region(), 10)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		p := terr.Sample(rng)
+		if !region().ContainsPoint(p) {
+			t.Fatalf("sample %v outside region", p)
+		}
+	}
+}
+
+func TestTerrainIsClustered(t *testing.T) {
+	// Samples should concentrate: the occupied fraction of a coarse
+	// grid must be well below uniform coverage.
+	terr := NewTerrain(4, region(), 10)
+	rng := rand.New(rand.NewSource(3))
+	const cells = 32
+	occupied := map[int]bool{}
+	for i := 0; i < 3000; i++ {
+		p := terr.Sample(rng)
+		cx := int(float64(p.X) / 1000 * cells)
+		cy := int(float64(p.Y) / 500 * cells)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		occupied[cy*cells+cx] = true
+	}
+	frac := float64(len(occupied)) / (cells * cells)
+	if frac > 0.8 {
+		t.Fatalf("samples occupy %.0f%% of cells; not clustered", frac*100)
+	}
+}
+
+func TestRoadsShape(t *testing.T) {
+	terr := NewTerrain(5, region(), 15)
+	recs := Roads(terr, 6, 2000, RoadParams{})
+	if len(recs) != 2000 {
+		t.Fatalf("count = %d", len(recs))
+	}
+	ids := map[uint32]bool{}
+	var thin int
+	minDim := math.Min(float64(region().Width()), float64(region().Height()))
+	for _, r := range recs {
+		if !r.Rect.Valid() {
+			t.Fatalf("invalid rect %v", r.Rect)
+		}
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		ids[r.ID] = true
+		w, h := float64(r.Rect.Width()), float64(r.Rect.Height())
+		if w > minDim/2 || h > minDim/2 {
+			t.Fatalf("road too large: %v", r.Rect)
+		}
+		if w < 1e-9*minDim || h < 1e-9*minDim {
+			// Degenerate dims are fine (thin roads), nothing to check.
+			continue
+		}
+		ratio := math.Max(w, h) / math.Min(w, h)
+		if ratio > 3 {
+			thin++
+		}
+	}
+	// The majority of roads should be thin, axis-leaning segments.
+	if thin < len(recs)/2 {
+		t.Fatalf("only %d of %d roads are thin", thin, len(recs))
+	}
+}
+
+func TestHydroShape(t *testing.T) {
+	terr := NewTerrain(7, region(), 15)
+	recs := Hydro(terr, 8, 1500, HydroParams{})
+	if len(recs) != 1500 {
+		t.Fatalf("count = %d", len(recs))
+	}
+	ids := map[uint32]bool{}
+	for _, r := range recs {
+		if !r.Rect.Valid() {
+			t.Fatalf("invalid rect %v", r.Rect)
+		}
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	// Hydro features are larger on average than road segments.
+	roads := Roads(terr, 9, 1500, RoadParams{})
+	avgArea := func(rs []geom.Record) float64 {
+		var sum float64
+		for _, r := range rs {
+			sum += r.Rect.Area()
+		}
+		return sum / float64(len(rs))
+	}
+	if avgArea(recs) <= avgArea(roads) {
+		t.Fatal("hydro features should be larger than road segments")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	terr := NewTerrain(10, region(), 12)
+	a := Roads(terr, 11, 500, RoadParams{})
+	b := Roads(NewTerrain(10, region(), 12), 11, 500, RoadParams{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("roads not deterministic")
+		}
+	}
+	ha := Hydro(terr, 12, 300, HydroParams{})
+	hb := Hydro(NewTerrain(10, region(), 12), 12, 300, HydroParams{})
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatal("hydro not deterministic")
+		}
+	}
+}
+
+func TestRoadsAndHydroShareGeography(t *testing.T) {
+	// Both classes sample the same terrain, so their occupied regions
+	// must overlap substantially — the property that makes synthetic
+	// joins produce output like Table 2.
+	terr := NewTerrain(13, region(), 10)
+	roads := Roads(terr, 14, 3000, RoadParams{})
+	hydro := Hydro(terr, 15, 1000, HydroParams{})
+	const cells = 16
+	occR := map[int]bool{}
+	occH := map[int]bool{}
+	cellOf := func(r geom.Rect) int {
+		cx := int(float64(r.XLo) / 1000 * cells)
+		cy := int(float64(r.YLo) / 500 * cells)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cy*cells + cx
+	}
+	for _, r := range roads {
+		occR[cellOf(r.Rect)] = true
+	}
+	for _, h := range hydro {
+		occH[cellOf(h.Rect)] = true
+	}
+	shared := 0
+	for c := range occH {
+		if occR[c] {
+			shared++
+		}
+	}
+	if float64(shared) < 0.6*float64(len(occH)) {
+		t.Fatalf("only %d of %d hydro cells shared with roads", shared, len(occH))
+	}
+}
+
+func TestUniform(t *testing.T) {
+	recs := Uniform(16, 1000, region(), 25)
+	if len(recs) != 1000 {
+		t.Fatalf("count = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Rect.XLo < 0 || r.Rect.YLo < 0 {
+			t.Fatalf("out of region: %v", r.Rect)
+		}
+		if float64(r.Rect.Width()) > 25 || float64(r.Rect.Height()) > 25 {
+			t.Fatalf("extent too large: %v", r.Rect)
+		}
+	}
+	again := Uniform(16, 1000, region(), 25)
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatal("uniform not deterministic")
+		}
+	}
+}
+
+func TestTerrainMinimumClusters(t *testing.T) {
+	terr := NewTerrain(1, region(), 0) // clamped to 1
+	rng := rand.New(rand.NewSource(1))
+	p := terr.Sample(rng)
+	if !region().ContainsPoint(p) {
+		t.Fatal("degenerate terrain sample outside region")
+	}
+	if terr.Region() != region() {
+		t.Fatal("region accessor broken")
+	}
+}

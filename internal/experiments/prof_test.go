@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+
+	"unijoin/internal/core"
+	"unijoin/internal/tiger"
+)
+
+// BenchmarkProfSSSJ isolates a single SSSJ join on DISK1 for
+// profiling the sort-and-sweep hot path (`-cpuprofile`).
+func BenchmarkProfSSSJ(b *testing.B) {
+	cfg := Config{Tiger: tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40}}
+	env, err := Prepare(cfg, tiger.Disk1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := env.Options()
+		if _, err := core.SSSJ(o, env.RoadsFile, env.HydroFile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

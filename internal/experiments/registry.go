@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// defaultAblationSet is the data set used by single-set experiments:
+// large enough that the trees outgrow the scaled buffer pool.
+const defaultAblationSet = "DISK1"
+
+// IDs lists every experiment the registry can run, in DESIGN.md order.
+var IDs = []string{
+	"table1", "table2", "table3", "table4", "fig2", "fig3", "sel",
+	"oneindex", "bfrj",
+	"abl-sweep", "abl-pool", "abl-pack", "abl-tiles", "abl-leafstream", "abl-layout",
+}
+
+// Run executes one experiment by id and prints its table to w.
+func Run(id string, cfg Config, w io.Writer) error {
+	t, err := RunTable(id, cfg)
+	if err != nil {
+		return err
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// RunTable builds the table for one experiment id.
+func RunTable(id string, cfg Config) (*Table, error) {
+	switch id {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(cfg)
+	case "table3":
+		return Table3(cfg)
+	case "table4":
+		return Table4(cfg)
+	case "fig2":
+		return Fig2(cfg)
+	case "fig3":
+		return Fig3(cfg)
+	case "sel":
+		return Selective(cfg, selSet(cfg))
+	case "oneindex":
+		return OneIndex(cfg, selSet(cfg))
+	case "bfrj":
+		return BFRJCompare(cfg, selSet(cfg))
+	case "abl-sweep":
+		return AblationSweep(cfg)
+	case "abl-pool":
+		return AblationSTBufferPool(cfg, selSet(cfg))
+	case "abl-pack":
+		return AblationPacking(cfg, selSet(cfg))
+	case "abl-tiles":
+		return AblationPBSMTiles(cfg, selSet(cfg))
+	case "abl-leafstream":
+		return AblationPQLeafStreaming(cfg, selSet(cfg))
+	case "abl-layout":
+		return AblationLayout(cfg, selSet(cfg))
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs)
+	}
+}
+
+// selSet picks the single-set experiments' data set: the largest
+// configured set, so the buffer pool is genuinely undersized.
+func selSet(cfg Config) string {
+	if len(cfg.Sets) > 0 {
+		return cfg.Sets[len(cfg.Sets)-1]
+	}
+	return defaultAblationSet
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, id := range IDs {
+		if err := Run(id, cfg, w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package extpq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+)
+
+func newStore() *iosim.Store { return iosim.NewStore(iosim.DefaultPageSize) }
+
+func TestInMemoryOrdering(t *testing.T) {
+	q := New(newStore(), 1<<20)
+	keys := []float32{5, 1, 3, 2, 4}
+	for _, k := range keys {
+		if err := q.Push(Item{Key: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := float32(1); want <= 5; want++ {
+		it, ok, err := q.Pop()
+		if err != nil || !ok {
+			t.Fatalf("pop: ok=%v err=%v", ok, err)
+		}
+		if it.Key != want {
+			t.Fatalf("key %g, want %g", it.Key, want)
+		}
+	}
+	if _, ok, _ := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+	if q.Spills() != 0 {
+		t.Fatal("no spill expected in memory")
+	}
+}
+
+func TestSpillAndMergeSortedOutput(t *testing.T) {
+	store := newStore()
+	q := New(store, 0) // floor: 256 items in memory
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	keys := make([]float32, n)
+	for i := range keys {
+		keys[i] = rng.Float32() * 1000
+		if err := q.Push(Item{Key: keys[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Spills() == 0 {
+		t.Fatal("expected spills with 20000 items and a 256-item budget")
+	}
+	if q.Len() != n {
+		t.Fatalf("len = %d", q.Len())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 0; i < n; i++ {
+		it, ok, err := q.Pop()
+		if err != nil || !ok {
+			t.Fatalf("pop %d: ok=%v err=%v", i, ok, err)
+		}
+		if it.Key != keys[i] {
+			t.Fatalf("pop %d: key %g, want %g", i, it.Key, keys[i])
+		}
+	}
+	if _, ok, _ := q.Pop(); ok {
+		t.Fatal("drained queue should be empty")
+	}
+	if q.MaxDiskItems() == 0 {
+		t.Fatal("disk high-water mark not tracked")
+	}
+}
+
+func TestInterleavedPushPopMonotone(t *testing.T) {
+	// The PQ traversal's pattern: pops are monotone, pushes never go
+	// below the last pop.
+	store := newStore()
+	q := New(store, 0)
+	rng := rand.New(rand.NewSource(2))
+	last := float32(0)
+	pending := 0
+	var popped []float32
+	for step := 0; step < 50000; step++ {
+		if pending == 0 || (rng.Intn(2) == 0 && pending < 5000) {
+			key := last + rng.Float32()*10
+			if err := q.Push(Item{Key: key}); err != nil {
+				t.Fatal(err)
+			}
+			pending++
+		} else {
+			it, ok, err := q.Pop()
+			if err != nil || !ok {
+				t.Fatalf("pop: ok=%v err=%v", ok, err)
+			}
+			if it.Key < last {
+				t.Fatalf("non-monotone pop: %g after %g", it.Key, last)
+			}
+			last = it.Key
+			popped = append(popped, it.Key)
+			pending--
+		}
+	}
+	for i := 1; i < len(popped); i++ {
+		if popped[i] < popped[i-1] {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func TestQuickPropertyHeapEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := newStore()
+		q := New(store, 0)
+		n := 500 + rng.Intn(2000)
+		keys := make([]float32, n)
+		for i := range keys {
+			keys[i] = float32(rng.Intn(10000))
+			if err := q.Push(Item{Key: keys[i]}); err != nil {
+				return false
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i := 0; i < n; i++ {
+			it, ok, err := q.Pop()
+			if err != nil || !ok || it.Key != keys[i] {
+				return false
+			}
+		}
+		_, ok, _ := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadSurvivesSpill(t *testing.T) {
+	store := newStore()
+	q := New(store, 0)
+	recs := make(map[uint32]geom.Record)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		x := rng.Float32() * 100
+		y := rng.Float32() * 100
+		r := geom.Record{Rect: geom.NewRect(x, y, x+1, y+1), ID: uint32(i)}
+		recs[r.ID] = r
+		if err := q.Push(RecordItem(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Spills() == 0 {
+		t.Fatal("expected spills")
+	}
+	count := 0
+	for {
+		it, ok, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got := ItemRecord(it)
+		want, exists := recs[got.ID]
+		if !exists || got != want {
+			t.Fatalf("payload corrupted: %v vs %v", got, want)
+		}
+		delete(recs, got.ID)
+		count++
+	}
+	if count != 5000 || len(recs) != 0 {
+		t.Fatalf("drained %d, %d missing", count, len(recs))
+	}
+}
+
+func TestSpillIOIsMostlySequential(t *testing.T) {
+	// Each spill must write a multi-page run for sequentiality to be
+	// observable; use a budget whose half-spills span several pages.
+	store := newStore()
+	q := New(store, 64<<10)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		if err := q.Push(Item{Key: rng.Float32()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := store.Counters()
+	if c.Writes() == 0 {
+		t.Fatal("spills should write")
+	}
+	if c.SeqWrites < c.RandWrites {
+		t.Fatalf("spill runs should be written sequentially: %v", c)
+	}
+}
+
+func TestRecordItemRoundTrip(t *testing.T) {
+	f := func(xlo, ylo, xhi, yhi float32, id uint32) bool {
+		r := geom.Record{Rect: geom.Rect{XLo: xlo, YLo: ylo, XHi: xhi, YHi: yhi}, ID: id}
+		return ItemRecord(RecordItem(r)) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	q := New(newStore(), 1<<20)
+	_ = q.Push(Item{Key: 1})
+	if q.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPeekAgreesWithPop(t *testing.T) {
+	store := newStore()
+	q := New(store, 0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		if err := q.Push(Item{Key: rng.Float32() * 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		peeked, okPeek := q.Peek()
+		it, ok, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != okPeek {
+			t.Fatalf("peek/pop disagree on emptiness: %v vs %v", okPeek, ok)
+		}
+		if !ok {
+			break
+		}
+		if peeked.Key != it.Key {
+			t.Fatalf("peek %g != pop %g", peeked.Key, it.Key)
+		}
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := New(newStore(), 1<<20)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("empty peek should report empty")
+	}
+	if _, ok, err := q.Pop(); ok || err != nil {
+		t.Fatalf("empty pop: ok=%v err=%v", ok, err)
+	}
+	if q.Len() != 0 {
+		t.Fatal("empty length")
+	}
+}

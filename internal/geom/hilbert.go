@@ -1,0 +1,93 @@
+package geom
+
+// Hilbert space-filling curve. The paper bulk-loads its R-trees with
+// the Hilbert heuristic of Kamel and Faloutsos [17]: data rectangles
+// are sorted by the Hilbert value of their center point and packed into
+// leaves in that order. The curve preserves locality, so consecutive
+// leaves cover nearby regions and sibling nodes end up adjacent on
+// disk — the layout property Section 6.2 of the paper shows matters so
+// much for ST's sequential I/O.
+
+// HilbertOrder is the resolution of the discrete grid onto which
+// centers are snapped before computing curve positions: the curve
+// visits 2^HilbertOrder x 2^HilbertOrder cells. 16 bits per axis gives
+// a 32-bit curve index, plenty below the fanout*leaves scale used here.
+const HilbertOrder = 16
+
+// hilbertSide is the grid resolution per axis.
+const hilbertSide = 1 << HilbertOrder
+
+// HilbertD2XY converts a distance d along the Hilbert curve of order
+// HilbertOrder into grid coordinates. Exported for tests and for
+// generating curve-ordered workloads.
+func HilbertD2XY(d uint64) (x, y uint32) {
+	var rx, ry uint64
+	t := d
+	for s := uint64(1); s < hilbertSide; s *= 2 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		x64, y64 := hilbertRot(s, uint64(x), uint64(y), rx, ry)
+		x, y = uint32(x64), uint32(y64)
+		x += uint32(s * rx)
+		y += uint32(s * ry)
+		t /= 4
+	}
+	return x, y
+}
+
+// HilbertXY2D converts grid coordinates (x, y), each in
+// [0, 2^HilbertOrder), into the distance along the Hilbert curve.
+func HilbertXY2D(x, y uint32) uint64 {
+	var d uint64
+	xx, yy := uint64(x), uint64(y)
+	for s := uint64(hilbertSide / 2); s > 0; s /= 2 {
+		var rx, ry uint64
+		if xx&s > 0 {
+			rx = 1
+		}
+		if yy&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		xx, yy = hilbertRot(s, xx, yy, rx, ry)
+	}
+	return d
+}
+
+// hilbertRot rotates/flips a quadrant appropriately.
+func hilbertRot(n, x, y, rx, ry uint64) (uint64, uint64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = n - 1 - x
+			y = n - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// HilbertValue maps a point inside universe to its position on the
+// Hilbert curve laid over the universe. Points outside the universe are
+// clamped to its boundary. A degenerate universe (zero width or height)
+// maps everything onto one axis of the grid.
+func HilbertValue(p Point, universe Rect) uint64 {
+	gx := gridCoord(p.X, universe.XLo, universe.XHi)
+	gy := gridCoord(p.Y, universe.YLo, universe.YHi)
+	return HilbertXY2D(gx, gy)
+}
+
+// gridCoord maps v in [lo, hi] to [0, hilbertSide-1], clamping.
+func gridCoord(v, lo, hi Coord) uint32 {
+	if hi <= lo {
+		return 0
+	}
+	f := float64(v-lo) / float64(hi-lo)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	g := uint32(f * (hilbertSide - 1))
+	return g
+}

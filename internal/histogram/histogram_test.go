@@ -1,0 +1,238 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+	"unijoin/internal/stream"
+)
+
+func universe() geom.Rect { return geom.NewRect(0, 0, 1000, 1000) }
+
+func TestAddAndTotal(t *testing.T) {
+	g := New(universe(), 10, 10)
+	g.Add(geom.NewRect(0, 0, 50, 50))
+	g.Add(geom.NewRect(500, 500, 550, 550))
+	if g.Total() != 2 {
+		t.Fatalf("total = %d", g.Total())
+	}
+	if g.Bytes() <= 0 {
+		t.Fatal("bytes must be positive")
+	}
+}
+
+func TestOverlapFractionDisjointAndFull(t *testing.T) {
+	a := New(universe(), 10, 10)
+	b := New(universe(), 10, 10)
+	// a occupies the left half, b the right half: no shared cells.
+	for i := 0; i < 100; i++ {
+		a.Add(geom.NewRect(float32(i%4)*100, float32(i%10)*100, float32(i%4)*100+50, float32(i%10)*100+50))
+		b.Add(geom.NewRect(600+float32(i%4)*100, float32(i%10)*100, 600+float32(i%4)*100+50, float32(i%10)*100+50))
+	}
+	f, err := a.OverlapFraction(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Fatalf("disjoint fraction = %g", f)
+	}
+	// Against itself: full overlap.
+	f, err = a.OverlapFraction(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Fatalf("self fraction = %g", f)
+	}
+}
+
+func TestOverlapFractionPartial(t *testing.T) {
+	a := New(universe(), 10, 10)
+	b := New(universe(), 10, 10)
+	// a is spread uniformly; b occupies ~half the area.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := float32(rng.Float64() * 950)
+		y := float32(rng.Float64() * 950)
+		a.Add(geom.NewRect(x, y, x+5, y+5))
+	}
+	for i := 0; i < 500; i++ {
+		x := float32(rng.Float64() * 450)
+		y := float32(rng.Float64() * 950)
+		b.Add(geom.NewRect(x, y, x+5, y+5))
+	}
+	f, err := a.OverlapFraction(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.35 || f > 0.65 {
+		t.Fatalf("fraction = %g, want about 0.5", f)
+	}
+}
+
+func TestOverlapFractionEmpty(t *testing.T) {
+	a := New(universe(), 4, 4)
+	b := New(universe(), 4, 4)
+	f, err := a.OverlapFraction(b)
+	if err != nil || f != 0 {
+		t.Fatalf("empty overlap: f=%g err=%v", f, err)
+	}
+}
+
+func TestIncompatibleGrids(t *testing.T) {
+	a := New(universe(), 4, 4)
+	b := New(universe(), 8, 8)
+	if _, err := a.OverlapFraction(b); err == nil {
+		t.Fatal("resolution mismatch must error")
+	}
+	c := New(geom.NewRect(0, 0, 10, 10), 4, 4)
+	if _, err := a.OverlapFraction(c); err == nil {
+		t.Fatal("universe mismatch must error")
+	}
+	if _, err := a.EstimateJoinPairs(b); err == nil {
+		t.Fatal("EstimateJoinPairs must check compatibility")
+	}
+}
+
+func TestFractionInWindow(t *testing.T) {
+	g := New(universe(), 20, 20)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4000; i++ {
+		x := float32(rng.Float64() * 990)
+		y := float32(rng.Float64() * 990)
+		g.Add(geom.NewRect(x, y, x+2, y+2))
+	}
+	f := g.FractionInWindow(geom.NewRect(0, 0, 250, 1000))
+	if f < 0.18 || f > 0.35 {
+		t.Fatalf("window fraction = %g, want about 0.25", f)
+	}
+	if g.FractionInWindow(universe()) != 1 {
+		t.Fatal("full window must capture everything")
+	}
+	empty := New(universe(), 4, 4)
+	if empty.FractionInWindow(universe()) != 0 {
+		t.Fatal("empty histogram has no mass")
+	}
+}
+
+func TestEstimateJoinPairsOrderOfMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ra, rb []geom.Record
+	for i := 0; i < 1500; i++ {
+		x := float32(rng.Float64() * 950)
+		y := float32(rng.Float64() * 950)
+		ra = append(ra, geom.Record{Rect: geom.NewRect(x, y, x+20, y+20), ID: uint32(i)})
+	}
+	for i := 0; i < 1500; i++ {
+		x := float32(rng.Float64() * 950)
+		y := float32(rng.Float64() * 950)
+		rb = append(rb, geom.Record{Rect: geom.NewRect(x, y, x+20, y+20), ID: uint32(i)})
+	}
+	var truth float64
+	for _, a := range ra {
+		for _, b := range rb {
+			if a.Rect.Intersects(b.Rect) {
+				truth++
+			}
+		}
+	}
+	ga := BuildFromSlice(ra, universe(), 32, 32)
+	gb := BuildFromSlice(rb, universe(), 32, 32)
+	est, err := ga.EstimateJoinPairs(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 {
+		t.Fatal("estimate must be positive")
+	}
+	ratio := est / truth
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("estimate %g vs truth %g (ratio %.2f) outside order-of-magnitude band",
+			est, truth, ratio)
+	}
+}
+
+func TestBuildFromStreamMatchesSlice(t *testing.T) {
+	store := iosim.NewStore(iosim.DefaultPageSize)
+	rng := rand.New(rand.NewSource(4))
+	var recs []geom.Record
+	for i := 0; i < 1000; i++ {
+		x := float32(rng.Float64() * 900)
+		y := float32(rng.Float64() * 900)
+		recs = append(recs, geom.Record{Rect: geom.NewRect(x, y, x+10, y+10), ID: uint32(i)})
+	}
+	f, err := stream.WriteAll(store, stream.Records, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStream, err := Build(f, universe(), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSlice := BuildFromSlice(recs, universe(), 16, 16)
+	fa, err := fromStream.OverlapFraction(fromSlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != 1 {
+		t.Fatalf("identical data should fully overlap, got %g", fa)
+	}
+	if fromStream.Total() != fromSlice.Total() {
+		t.Fatal("totals differ")
+	}
+}
+
+func TestBuildIsOneSequentialPass(t *testing.T) {
+	store := iosim.NewStore(iosim.DefaultPageSize)
+	rng := rand.New(rand.NewSource(5))
+	var recs []geom.Record
+	for i := 0; i < 20000; i++ {
+		x := float32(rng.Float64() * 900)
+		recs = append(recs, geom.Record{Rect: geom.NewRect(x, x, x+1, x+1), ID: uint32(i)})
+	}
+	f, _ := stream.WriteAll(store, stream.Records, recs)
+	store.ResetCounters()
+	if _, err := Build(f, universe(), 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	c := store.Counters()
+	if c.Reads() > int64(f.Pages())+1 || c.Writes() != 0 {
+		t.Fatalf("histogram build should be one read pass: %v", c)
+	}
+	if c.RandReads > c.SeqReads {
+		t.Fatalf("scan should be sequential: %v", c)
+	}
+}
+
+func TestCellSpanClamping(t *testing.T) {
+	g := New(universe(), 8, 8)
+	g.Add(geom.NewRect(-500, -500, 2000, 2000)) // overflows universe
+	if g.Total() != 1 {
+		t.Fatal("record not added")
+	}
+	// Every cell should be touched.
+	f := g.FractionInWindow(geom.NewRect(900, 900, 1000, 1000))
+	if f <= 0 {
+		t.Fatal("clamped record should cover boundary cells")
+	}
+	if math.IsNaN(f) {
+		t.Fatal("NaN fraction")
+	}
+}
+
+func TestDegenerateResolution(t *testing.T) {
+	g := New(universe(), 0, -3) // clamped to 1x1
+	g.Add(geom.NewRect(1, 1, 2, 2))
+	other := New(universe(), 1, 1)
+	other.Add(geom.NewRect(900, 900, 901, 901))
+	f, err := g.OverlapFraction(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Fatalf("1x1 grid: everything overlaps, got %g", f)
+	}
+}

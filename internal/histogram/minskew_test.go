@@ -1,0 +1,183 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+
+	"unijoin/internal/datagen"
+	"unijoin/internal/geom"
+)
+
+func clusteredRecords(seed int64, n int, u geom.Rect) []geom.Record {
+	terr := datagen.NewTerrain(seed, u, 10)
+	return datagen.Roads(terr, seed+1, n, datagen.RoadParams{MeanLen: 0.01})
+}
+
+func TestMinSkewBucketBudgetRespected(t *testing.T) {
+	u := geom.NewRect(0, 0, 1000, 1000)
+	base := BuildFromSlice(clusteredRecords(1, 5000, u), u, 32, 32)
+	for _, budget := range []int{1, 4, 16, 64} {
+		ms, err := BuildMinSkew(base, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms.Buckets()) > budget {
+			t.Fatalf("budget %d: got %d buckets", budget, len(ms.Buckets()))
+		}
+		if len(ms.Buckets()) == 0 {
+			t.Fatal("no buckets")
+		}
+	}
+	if _, err := BuildMinSkew(base, 0); err == nil {
+		t.Fatal("zero budget must error")
+	}
+}
+
+func TestMinSkewMassConserved(t *testing.T) {
+	u := geom.NewRect(0, 0, 1000, 1000)
+	recs := clusteredRecords(2, 4000, u)
+	base := BuildFromSlice(recs, u, 32, 32)
+	ms, err := BuildMinSkew(base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseTotal float64
+	for _, c := range base.cells {
+		baseTotal += c.count
+	}
+	var msTotal float64
+	for _, b := range ms.Buckets() {
+		msTotal += b.Count
+	}
+	if msTotal != baseTotal || ms.Total() != baseTotal {
+		t.Fatalf("mass not conserved: %g vs %g", msTotal, baseTotal)
+	}
+}
+
+func TestMinSkewBucketsAdaptToClusters(t *testing.T) {
+	// With clustered data, buckets around the clusters must be smaller
+	// than buckets over empty land.
+	u := geom.NewRect(0, 0, 1000, 1000)
+	var recs []geom.Record
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ { // dense cluster in one corner
+		x := float32(rng.Float64() * 100)
+		y := float32(rng.Float64() * 100)
+		recs = append(recs, geom.Record{Rect: geom.NewRect(x, y, x+2, y+2), ID: uint32(i)})
+	}
+	base := BuildFromSlice(recs, u, 32, 32)
+	ms, err := BuildMinSkew(base, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var denseArea, emptyArea float64
+	var denseN, emptyN int
+	for _, b := range ms.Buckets() {
+		if b.Count > 0 {
+			denseArea += b.Region.Area()
+			denseN++
+		} else {
+			emptyArea += b.Region.Area()
+			emptyN++
+		}
+	}
+	if denseN == 0 || emptyN == 0 {
+		t.Fatalf("expected both dense and empty buckets: %d dense, %d empty", denseN, emptyN)
+	}
+	if denseArea/float64(denseN) >= emptyArea/float64(emptyN) {
+		t.Fatalf("dense buckets should be smaller on average: %.0f vs %.0f",
+			denseArea/float64(denseN), emptyArea/float64(emptyN))
+	}
+}
+
+func TestMinSkewWindowEstimateBeatsGridOnSkewedData(t *testing.T) {
+	// The reason [1] exists: on skewed data, adaptive buckets estimate
+	// window selectivity better than a coarse uniform grid with the
+	// same budget.
+	u := geom.NewRect(0, 0, 1000, 1000)
+	rng := rand.New(rand.NewSource(4))
+	var recs []geom.Record
+	for i := 0; i < 6000; i++ {
+		// 90% in a tight cluster, 10% background.
+		var x, y float32
+		if rng.Float64() < 0.9 {
+			x = float32(50 + rng.Float64()*60)
+			y = float32(50 + rng.Float64()*60)
+		} else {
+			x = float32(rng.Float64() * 990)
+			y = float32(rng.Float64() * 990)
+		}
+		recs = append(recs, geom.Record{Rect: geom.NewRect(x, y, x+2, y+2), ID: uint32(i)})
+	}
+	// Budget-matched comparison: a 4x4 grid (16 cells) vs MinSkew with
+	// 16 buckets refined from a fine base grid.
+	coarse := BuildFromSlice(recs, u, 4, 4)
+	fine := BuildFromSlice(recs, u, 64, 64)
+	ms, err := BuildMinSkew(fine, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truth := func(w geom.Rect) float64 {
+		n := 0
+		for _, r := range recs {
+			if r.Rect.Intersects(w) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(recs))
+	}
+	var gridErr, msErr float64
+	windows := []geom.Rect{
+		geom.NewRect(40, 40, 130, 130),   // the cluster
+		geom.NewRect(0, 0, 250, 250),     // quarter containing cluster
+		geom.NewRect(500, 500, 750, 750), // empty-ish quadrant
+		geom.NewRect(60, 60, 90, 90),     // inside the cluster
+	}
+	for _, w := range windows {
+		want := truth(w)
+		gridErr += abs(coarse.FractionInWindow(w) - want)
+		msErr += abs(ms.FractionInWindow(w) - want)
+	}
+	if msErr >= gridErr {
+		t.Fatalf("MinSkew total error %.3f should beat coarse grid %.3f", msErr, gridErr)
+	}
+}
+
+func TestMinSkewOverlapFraction(t *testing.T) {
+	// Bounded-extent uniform data on the two halves: the base grid has
+	// strictly zero cells in the gap, so refinement can isolate it.
+	u := geom.NewRect(0, 0, 1000, 1000)
+	left := BuildFromSlice(datagen.Uniform(5, 3000, geom.NewRect(0, 0, 440, 1000), 8), u, 32, 32)
+	right := BuildFromSlice(datagen.Uniform(6, 3000, geom.NewRect(560, 0, 1000, 1000), 8), u, 32, 32)
+	msL, err := BuildMinSkew(left, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msR, err := BuildMinSkew(right, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint := msL.OverlapFraction(msR)
+	self := msL.OverlapFraction(msL)
+	if disjoint > 0.5 {
+		t.Fatalf("disjoint relations should overlap little: %g", disjoint)
+	}
+	if self < 0.8 {
+		t.Fatalf("self overlap should be near 1: %g", self)
+	}
+	if disjoint >= self {
+		t.Fatalf("disjoint (%g) must be well below self (%g)", disjoint, self)
+	}
+	empty, _ := BuildMinSkew(New(u, 8, 8), 8)
+	if empty.FractionInWindow(u) != 0 || empty.OverlapFraction(msL) != 0 {
+		t.Fatal("empty histogram must estimate 0")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

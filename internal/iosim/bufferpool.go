@@ -1,0 +1,115 @@
+package iosim
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool is an LRU page cache over a Store. The ST join uses one
+// sized at 22 MB in the paper (Section 3.3): R-tree nodes revisited by
+// the synchronized depth-first traversal are served from the pool, and
+// only pool misses reach the disk. Table 4's "pages requested" for ST
+// are exactly these misses.
+//
+// Pages are cached by copy, so the zero-copy contract of
+// Store.ReadPage does not leak through the pool.
+type BufferPool struct {
+	store    *Store
+	capacity int // in pages
+
+	frames map[PageID]*list.Element
+	lru    *list.List // front = most recently used
+
+	hits   int64
+	misses int64
+}
+
+type frame struct {
+	id   PageID
+	data []byte
+}
+
+// NewBufferPool creates a pool holding up to capPages pages of s.
+// capPages must be at least 1.
+func NewBufferPool(s *Store, capPages int) *BufferPool {
+	if capPages < 1 {
+		panic(fmt.Sprintf("iosim: buffer pool capacity %d < 1", capPages))
+	}
+	return &BufferPool{
+		store:    s,
+		capacity: capPages,
+		frames:   make(map[PageID]*list.Element, capPages),
+		lru:      list.New(),
+	}
+}
+
+// NewBufferPoolBytes creates a pool of approximately sizeBytes, in
+// whole pages of the store's page size (minimum one page).
+func NewBufferPoolBytes(s *Store, sizeBytes int) *BufferPool {
+	pages := sizeBytes / s.PageSize()
+	if pages < 1 {
+		pages = 1
+	}
+	return NewBufferPool(s, pages)
+}
+
+// Capacity returns the pool capacity in pages.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Get returns the contents of page p, reading it from the store on a
+// miss and evicting the least recently used page if the pool is full.
+// The returned slice is the pool's frame: treat it as read-only and do
+// not retain it across further pool operations.
+func (b *BufferPool) Get(p PageID) ([]byte, error) {
+	if el, ok := b.frames[p]; ok {
+		b.hits++
+		b.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	b.misses++
+	src, err := b.store.ReadPage(p)
+	if err != nil {
+		return nil, err
+	}
+	var f *frame
+	if b.lru.Len() >= b.capacity {
+		// Reuse the evicted frame's buffer to avoid churn.
+		el := b.lru.Back()
+		f = el.Value.(*frame)
+		delete(b.frames, f.id)
+		b.lru.Remove(el)
+	} else {
+		f = &frame{data: make([]byte, b.store.PageSize())}
+	}
+	f.id = p
+	copy(f.data, src)
+	b.frames[p] = b.lru.PushFront(f)
+	return f.data, nil
+}
+
+// Contains reports whether page p is currently cached (without touching
+// recency or counters).
+func (b *BufferPool) Contains(p PageID) bool {
+	_, ok := b.frames[p]
+	return ok
+}
+
+// Hits returns the number of Get calls served from the pool.
+func (b *BufferPool) Hits() int64 { return b.hits }
+
+// Misses returns the number of Get calls that had to read the store.
+// This is the "page requests" metric of Table 4.
+func (b *BufferPool) Misses() int64 { return b.misses }
+
+// Requests returns hits + misses, the number of logical page requests.
+func (b *BufferPool) Requests() int64 { return b.hits + b.misses }
+
+// Len returns the number of pages currently cached.
+func (b *BufferPool) Len() int { return b.lru.Len() }
+
+// Reset empties the pool and zeroes its counters.
+func (b *BufferPool) Reset() {
+	b.frames = make(map[PageID]*list.Element, b.capacity)
+	b.lru.Init()
+	b.hits, b.misses = 0, 0
+}

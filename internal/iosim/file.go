@@ -1,0 +1,152 @@
+package iosim
+
+import (
+	"fmt"
+	"io"
+)
+
+// ExtentPages is the number of contiguous pages allocated at a time for
+// a File: 64 pages x 8 KB = 512 KB, the logical page size the paper
+// uses for its stream-based algorithms (Section 5.2). A sequential scan
+// of a File therefore produces long runs of sequential page accesses
+// with at most one random access per 512 KB extent — exactly the access
+// pattern of TPIE's read/write-system-call BTE.
+const ExtentPages = 64
+
+type extent struct {
+	first PageID
+	pages int
+}
+
+// File is an append-only byte file laid out in large contiguous
+// extents on the simulated disk. It is the backing object for record
+// streams (sorted runs, partition files, join output).
+type File struct {
+	store   *Store
+	extents []extent
+	size    int64 // bytes written
+}
+
+// NewFile creates an empty file on s.
+func NewFile(s *Store) *File {
+	return &File{store: s}
+}
+
+// Size returns the number of bytes written to the file.
+func (f *File) Size() int64 { return f.size }
+
+// Store returns the store the file lives on.
+func (f *File) Store() *Store { return f.store }
+
+// Pages returns the number of pages currently backing the file's
+// contents (allocated extents may extend further).
+func (f *File) Pages() int {
+	ps := int64(f.store.PageSize())
+	return int((f.size + ps - 1) / ps)
+}
+
+// pageFor returns the PageID holding byte offset off, extending the
+// file with a new extent if needed for writes.
+func (f *File) pageFor(off int64, extend bool) (PageID, error) {
+	ps := int64(f.store.PageSize())
+	idx := off / ps
+	for _, e := range f.extents {
+		if idx < int64(e.pages) {
+			return e.first + PageID(idx), nil
+		}
+		idx -= int64(e.pages)
+	}
+	if !extend {
+		return InvalidPage, fmt.Errorf("iosim: offset %d beyond file size %d", off, f.size)
+	}
+	first := f.store.AllocN(ExtentPages)
+	f.extents = append(f.extents, extent{first: first, pages: ExtentPages})
+	if idx >= ExtentPages {
+		return InvalidPage, fmt.Errorf("iosim: internal extent accounting error")
+	}
+	return first + PageID(idx), nil
+}
+
+// Append writes p at the end of the file. Writes are buffered per page:
+// a page is written to the store once per Append that touches it, so
+// appending in page-sized chunks (as the stream Writer does) costs one
+// page write per page.
+func (f *File) Append(p []byte) error {
+	ps := int64(f.store.PageSize())
+	for len(p) > 0 {
+		off := f.size
+		pg, err := f.pageFor(off, true)
+		if err != nil {
+			return err
+		}
+		inPage := int(off % ps)
+		n := int(ps) - inPage
+		if n > len(p) {
+			n = len(p)
+		}
+		buf, err := f.store.WritablePage(pg)
+		if err != nil {
+			return err
+		}
+		copy(buf[inPage:inPage+n], p[:n])
+		f.size += int64(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// ReadAt reads len(p) bytes starting at byte offset off. It returns
+// io.EOF (with a short count) when the read extends past the end of the
+// file. Each page touched costs one page read.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("iosim: negative offset %d", off)
+	}
+	ps := int64(f.store.PageSize())
+	total := 0
+	for len(p) > 0 {
+		if off >= f.size {
+			return total, io.EOF
+		}
+		pg, err := f.pageFor(off, false)
+		if err != nil {
+			return total, err
+		}
+		buf, err := f.store.ReadPage(pg)
+		if err != nil {
+			return total, err
+		}
+		inPage := int(off % ps)
+		n := int(ps) - inPage
+		if int64(n) > f.size-off {
+			n = int(f.size - off)
+		}
+		if n > len(p) {
+			n = len(p)
+		}
+		copy(p[:n], buf[inPage:inPage+n])
+		off += int64(n)
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Truncate resets the file to zero length. The extents are retained for
+// reuse; truncation itself costs no I/O.
+func (f *File) Truncate() { f.size = 0 }
+
+// Release returns all of the file's extents to the store's allocator
+// and empties the file. Use it on temporary streams (sort runs,
+// partitions) once they have been fully consumed — the paper's scratch
+// space discussion (Section 5.3) makes the same point about temporary
+// files during preprocessing. The file itself remains usable (it will
+// allocate fresh extents if written again), but any outstanding reader
+// over it is invalidated.
+func (f *File) Release() {
+	for _, e := range f.extents {
+		f.store.Release(e.first, e.pages)
+	}
+	f.extents = nil
+	f.size = 0
+}

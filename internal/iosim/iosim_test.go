@@ -1,0 +1,557 @@
+package iosim
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStoreAllocAndRoundTrip(t *testing.T) {
+	s := NewStore(128)
+	p := s.Alloc()
+	if s.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", s.NumPages())
+	}
+	data := bytes.Repeat([]byte{0xAB}, 128)
+	if err := s.WritePage(p, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("page contents mismatch")
+	}
+}
+
+func TestStoreBoundsChecks(t *testing.T) {
+	s := NewStore(128)
+	if _, err := s.ReadPage(0); err == nil {
+		t.Fatal("read of unallocated page should fail")
+	}
+	p := s.Alloc()
+	if err := s.WritePage(p, make([]byte, 64)); err == nil {
+		t.Fatal("short write should fail")
+	}
+	if err := s.WritePage(p+1, make([]byte, 128)); err == nil {
+		t.Fatal("write past end should fail")
+	}
+}
+
+func TestSequentialClassification(t *testing.T) {
+	s := NewStore(128)
+	first := s.AllocN(10)
+	// Forward scan: first access random, next 9 sequential.
+	for i := 0; i < 10; i++ {
+		if _, err := s.ReadPage(first + PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Counters()
+	if c.RandReads != 1 || c.SeqReads != 9 {
+		t.Fatalf("forward scan: %v", c)
+	}
+
+	s.ResetCounters()
+	// Backward scan: everything random.
+	for i := 9; i >= 0; i-- {
+		if _, err := s.ReadPage(first + PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c = s.Counters()
+	if c.RandReads != 10 || c.SeqReads != 0 {
+		t.Fatalf("backward scan: %v", c)
+	}
+
+	s.ResetCounters()
+	// Rereading the same page is served by the drive cache under the
+	// segmented model (counted sequential), but still costs a seek in
+	// the single-stream model after an interleaved access.
+	if _, err := s.ReadPage(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadPage(first); err != nil {
+		t.Fatal(err)
+	}
+	c = s.Counters()
+	if c.RandReads != 1 || c.SeqReads != 1 {
+		t.Fatalf("reread: %v", c)
+	}
+}
+
+func TestWriteClassification(t *testing.T) {
+	s := NewStore(128)
+	first := s.AllocN(4)
+	buf := make([]byte, 128)
+	for i := 0; i < 4; i++ {
+		if err := s.WritePage(first+PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Counters()
+	if c.RandWrites != 1 || c.SeqWrites != 3 {
+		t.Fatalf("sequential writes: %v", c)
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	a := Counters{SeqReads: 5, RandReads: 2, SeqWrites: 3, RandWrites: 1}
+	b := Counters{SeqReads: 1, RandReads: 1, SeqWrites: 1, RandWrites: 1}
+	d := a.Sub(b)
+	if d.Reads() != 5 || d.Writes() != 2 || d.Total() != 7 {
+		t.Fatalf("sub: %+v", d)
+	}
+	sum := d.Add(b)
+	if sum != a {
+		t.Fatalf("add: %+v != %+v", sum, a)
+	}
+}
+
+func TestDiskModelTimes(t *testing.T) {
+	d := Machine1.Disk // 8 ms access, 10 MB/s
+	page := 8192
+	seq := d.SeqReadTime(page)
+	rnd := d.RandReadTime(page)
+	// 8192 bytes at 10 MB/s = 819.2 us.
+	if seq < 800*time.Microsecond || seq > 840*time.Microsecond {
+		t.Fatalf("seq read = %v", seq)
+	}
+	if rnd != seq+8*time.Millisecond {
+		t.Fatalf("rand read = %v, want seq + 8ms", rnd)
+	}
+	if got, want := d.SeqWriteTime(page), time.Duration(float64(seq)*1.5); got != want {
+		t.Fatalf("seq write = %v, want %v", got, want)
+	}
+	if d.RandWriteTime(page) <= d.SeqWriteTime(page) {
+		t.Fatal("random write should cost more than sequential write")
+	}
+}
+
+func TestIOTimeAdditive(t *testing.T) {
+	d := Machine3.Disk
+	a := Counters{SeqReads: 10, RandReads: 3, SeqWrites: 4, RandWrites: 1}
+	b := Counters{SeqReads: 7, RandReads: 9}
+	total := d.IOTime(a.Add(b), 8192)
+	if total != d.IOTime(a, 8192)+d.IOTime(b, 8192) {
+		t.Fatal("IOTime should be additive over counters")
+	}
+}
+
+func TestIOTimeMonotone(t *testing.T) {
+	f := func(seqReads, randReads uint8) bool {
+		d := Machine2.Disk
+		c1 := Counters{SeqReads: int64(seqReads), RandReads: int64(randReads)}
+		c2 := Counters{SeqReads: int64(seqReads) + 1, RandReads: int64(randReads)}
+		c3 := Counters{SeqReads: int64(seqReads), RandReads: int64(randReads) + 1}
+		t1 := d.IOTime(c1, 8192)
+		return d.IOTime(c2, 8192) > t1 && d.IOTime(c3, 8192) > t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomVsSequentialGap(t *testing.T) {
+	// The paper assumes a random read costs roughly 10x a sequential
+	// read (Section 6.3). Verify the Table 1 disks are in that regime.
+	for _, m := range Machines {
+		ratio := float64(m.Disk.RandReadTime(8192)) / float64(m.Disk.SeqReadTime(8192))
+		if ratio < 5 || ratio > 70 {
+			t.Errorf("%s: rand/seq ratio %.1f outside plausible range", m.Name, ratio)
+		}
+	}
+}
+
+func TestEstimatedIOTime(t *testing.T) {
+	d := Machine3.Disk
+	if d.EstimatedIOTime(100, 8192) != 100*d.RandReadTime(8192) {
+		t.Fatal("estimate must charge every request the average read time")
+	}
+}
+
+func TestMachineCPUTime(t *testing.T) {
+	host := 100 * time.Millisecond
+	m3 := Machine3.CPUTime(host)
+	m1 := Machine1.CPUTime(host)
+	// Machine 1 runs at 50 MHz vs machine 3's 500: 10x slower.
+	if m1 != 10*m3 {
+		t.Fatalf("CPU scaling: m1=%v m3=%v", m1, m3)
+	}
+	if m3 != time.Duration(float64(host)*HostCPUFactor) {
+		t.Fatalf("reference machine scaling: %v", m3)
+	}
+}
+
+func TestTable1Constants(t *testing.T) {
+	// Spot-check the transcription of Table 1.
+	if Machine1.CPUMHz != 50 || Machine2.CPUMHz != 300 || Machine3.CPUMHz != 500 {
+		t.Fatal("CPU clocks do not match Table 1")
+	}
+	if Machine2.Disk.AvgAccessMs != 12.5 || Machine2.Disk.OnDiskBufferKB != 128 {
+		t.Fatal("Machine 2 disk does not match Table 1")
+	}
+	for _, m := range Machines {
+		if m.PageSize != 8192 {
+			t.Fatalf("%s: page size %d, want 8192", m.Name, m.PageSize)
+		}
+	}
+}
+
+func TestBufferPoolHitsAndMisses(t *testing.T) {
+	s := NewStore(128)
+	first := s.AllocN(8)
+	pool := NewBufferPool(s, 4)
+
+	// Cold reads: all misses.
+	for i := 0; i < 4; i++ {
+		if _, err := pool.Get(first + PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Misses() != 4 || pool.Hits() != 0 {
+		t.Fatalf("cold: hits=%d misses=%d", pool.Hits(), pool.Misses())
+	}
+	// Repeat: all hits, no new store reads.
+	before := s.Counters().Reads()
+	for i := 0; i < 4; i++ {
+		if _, err := pool.Get(first + PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Hits() != 4 {
+		t.Fatalf("warm: hits=%d", pool.Hits())
+	}
+	if s.Counters().Reads() != before {
+		t.Fatal("warm hits must not touch the store")
+	}
+	if pool.Requests() != 8 {
+		t.Fatalf("requests = %d", pool.Requests())
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	s := NewStore(128)
+	first := s.AllocN(3)
+	pool := NewBufferPool(s, 2)
+
+	mustGet := func(p PageID) {
+		t.Helper()
+		if _, err := pool.Get(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(first)     // miss {0}
+	mustGet(first + 1) // miss {0,1}
+	mustGet(first)     // hit, 0 now MRU
+	mustGet(first + 2) // miss, evicts 1 (LRU)
+	if !pool.Contains(first) || pool.Contains(first+1) || !pool.Contains(first+2) {
+		t.Fatal("LRU eviction picked the wrong victim")
+	}
+	mustGet(first + 1) // miss again
+	if pool.Misses() != 4 || pool.Hits() != 1 {
+		t.Fatalf("hits=%d misses=%d", pool.Hits(), pool.Misses())
+	}
+}
+
+func TestBufferPoolInvariantHitsPlusMisses(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewStore(128)
+		first := s.AllocN(16)
+		pool := NewBufferPool(s, 5)
+		rng := rand.New(rand.NewSource(seed))
+		n := 200
+		for i := 0; i < n; i++ {
+			if _, err := pool.Get(first + PageID(rng.Intn(16))); err != nil {
+				return false
+			}
+		}
+		return pool.Hits()+pool.Misses() == int64(n) && pool.Len() <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolLargeEnoughReadsEachPageOnce(t *testing.T) {
+	// When capacity >= working set, misses == distinct pages, no matter
+	// the access sequence (the NJ/NY regime of Table 4).
+	s := NewStore(128)
+	first := s.AllocN(10)
+	pool := NewBufferPool(s, 10)
+	rng := rand.New(rand.NewSource(1))
+	seen := map[PageID]bool{}
+	for i := 0; i < 500; i++ {
+		p := first + PageID(rng.Intn(10))
+		seen[p] = true
+		if _, err := pool.Get(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int(pool.Misses()) != len(seen) {
+		t.Fatalf("misses=%d distinct=%d", pool.Misses(), len(seen))
+	}
+}
+
+func TestBufferPoolBytesSizing(t *testing.T) {
+	s := NewStore(8192)
+	pool := NewBufferPoolBytes(s, 22<<20) // the paper's 22 MB pool
+	if pool.Capacity() != 22<<20/8192 {
+		t.Fatalf("capacity = %d pages", pool.Capacity())
+	}
+	tiny := NewBufferPoolBytes(s, 10)
+	if tiny.Capacity() != 1 {
+		t.Fatal("minimum capacity is one page")
+	}
+}
+
+func TestBufferPoolReset(t *testing.T) {
+	s := NewStore(128)
+	p := s.Alloc()
+	pool := NewBufferPool(s, 2)
+	if _, err := pool.Get(p); err != nil {
+		t.Fatal(err)
+	}
+	pool.Reset()
+	if pool.Hits() != 0 || pool.Misses() != 0 || pool.Len() != 0 || pool.Contains(p) {
+		t.Fatal("reset did not clear pool state")
+	}
+}
+
+func TestFileAppendAndReadBack(t *testing.T) {
+	s := NewStore(128)
+	f := NewFile(s)
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	if err := f.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1000 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	got := make([]byte, 1000)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read back mismatch")
+	}
+}
+
+func TestFileReadAtEOF(t *testing.T) {
+	s := NewStore(128)
+	f := NewFile(s)
+	if err := f.Append(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 200)
+	n, err := f.ReadAt(buf, 0)
+	if n != 100 || err != io.EOF {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	n, err = f.ReadAt(buf, 100)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("at end: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset should error")
+	}
+}
+
+func TestFileSequentialScanIsMostlySequential(t *testing.T) {
+	s := NewStore(128)
+	f := NewFile(s)
+	// Two extents worth of data.
+	total := ExtentPages * 128 * 2
+	if err := f.Append(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetCounters()
+	buf := make([]byte, 128)
+	for off := int64(0); off < int64(total); off += 128 {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Counters()
+	if c.Reads() != int64(2*ExtentPages) {
+		t.Fatalf("reads = %d, want %d", c.Reads(), 2*ExtentPages)
+	}
+	// At most one random read per extent boundary (+1 for the start).
+	if c.RandReads > 2 {
+		t.Fatalf("too many random reads in a scan: %v", c)
+	}
+}
+
+func TestFilePagesAndTruncate(t *testing.T) {
+	s := NewStore(128)
+	f := NewFile(s)
+	if f.Pages() != 0 {
+		t.Fatal("empty file has no pages")
+	}
+	if err := f.Append(make([]byte, 129)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pages() != 2 {
+		t.Fatalf("pages = %d", f.Pages())
+	}
+	f.Truncate()
+	if f.Size() != 0 || f.Pages() != 0 {
+		t.Fatal("truncate should zero the file")
+	}
+	// Reuse after truncate.
+	if err := f.Append([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatal("reuse after truncate failed")
+	}
+}
+
+func TestFileInterleavedWritesClassification(t *testing.T) {
+	// Two interleaved streams fit in the segmented drive cache and stay
+	// sequential; under the single-stream model every switch seeks.
+	s := NewStore(128)
+	a, b := NewFile(s), NewFile(s)
+	chunk := make([]byte, 128)
+	for i := 0; i < 100; i++ {
+		if err := a.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := s.Counters(); c.SeqWrites < 190 {
+		t.Fatalf("two streams should stay sequential in the segmented model: %v", c)
+	}
+	if d := s.DirectCounters(); d.RandWrites < 190 {
+		t.Fatalf("single-stream model should seek on every switch: %v", d)
+	}
+}
+
+func TestManyInterleavedStreamsOverflowCache(t *testing.T) {
+	// More concurrent streams than cache segments: even the segmented
+	// model classifies the interleaving as random. This is what PBSM's
+	// partitioning pass pays with many partitions.
+	s := NewStore(128)
+	files := make([]*File, CacheSegments+4)
+	for i := range files {
+		files[i] = NewFile(s)
+	}
+	chunk := make([]byte, 128)
+	for round := 0; round < 50; round++ {
+		for _, f := range files {
+			if err := f.Append(chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c := s.Counters()
+	if c.RandWrites < c.SeqWrites {
+		t.Fatalf("too many streams should defeat the cache: %v", c)
+	}
+}
+
+func TestWritablePageBounds(t *testing.T) {
+	s := NewStore(128)
+	if _, err := s.WritablePage(0); err == nil {
+		t.Fatal("unallocated writable page must fail")
+	}
+	p := s.Alloc()
+	buf, err := s.WritablePage(p)
+	if err != nil || len(buf) != 128 {
+		t.Fatalf("writable page: len=%d err=%v", len(buf), err)
+	}
+	if got := s.Counters().Writes(); got != 1 {
+		t.Fatalf("WritablePage must count one write, got %d", got)
+	}
+}
+
+func TestReleaseReuseAndPanic(t *testing.T) {
+	s := NewStore(128)
+	first := s.AllocN(4)
+	s.Release(first, 4)
+	again := s.AllocN(4)
+	if again != first {
+		t.Fatalf("released extent should be reused: %d vs %d", again, first)
+	}
+	if s.NumPages() != 4 {
+		t.Fatalf("reuse must not grow the store: %d pages", s.NumPages())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing unallocated extent must panic")
+		}
+	}()
+	s.Release(100, 4)
+}
+
+func TestDirectCountersDiverge(t *testing.T) {
+	s := NewStore(128)
+	a := s.AllocN(8)
+	b := s.AllocN(8)
+	// Alternate two streams: cached model sequential, direct model not.
+	for i := 0; i < 8; i++ {
+		if _, err := s.ReadPage(a + PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ReadPage(b + PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cached := s.Counters()
+	direct := s.DirectCounters()
+	if cached.SeqReads <= direct.SeqReads {
+		t.Fatalf("cached model should see more sequential reads: %v vs %v", cached, direct)
+	}
+	if cached.Total() != direct.Total() {
+		t.Fatal("both models must count the same accesses")
+	}
+}
+
+func TestPrefetchWindowClassification(t *testing.T) {
+	s := NewStore(128)
+	first := s.AllocN(64)
+	if _, err := s.ReadPage(first); err != nil {
+		t.Fatal(err)
+	}
+	// A skip within the prefetch window is served from cache...
+	if _, err := s.ReadPage(first + PrefetchPages); err != nil {
+		t.Fatal(err)
+	}
+	// ...but a jump beyond it seeks.
+	if _, err := s.ReadPage(first + 3*PrefetchPages); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.SeqReads != 1 || c.RandReads != 2 {
+		t.Fatalf("prefetch classification: %v", c)
+	}
+}
+
+func TestZeroThroughputDisk(t *testing.T) {
+	d := DiskModel{AvgAccessMs: 5, PeakMBps: 0}
+	if d.SeqReadTime(8192) != 0 {
+		t.Fatal("zero throughput transfers cost nothing (guarded)")
+	}
+	if d.RandReadTime(8192) != 5*time.Millisecond {
+		t.Fatal("random read should still pay the access time")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Machine1.String() == "" || (Counters{}).String() == "" {
+		t.Fatal("stringers must format")
+	}
+}

@@ -1,0 +1,131 @@
+// Package rtree implements the packed, bulk-loaded R-trees of the
+// paper (Section 3.3): nodes occupy exactly one 8 KB disk page, trees
+// are built bottom-up in Hilbert order [17] with the 75%-fill /
+// 20%-area-slack packing heuristic of DeWitt et al. [10], and — the
+// paper's key addition — data rectangles can be extracted in sorted
+// lower-y order through a priority-queue-driven traversal
+// (SortedScanner), which is the "index adapter" that lets an indexed
+// relation feed the same plane sweep as a sorted file.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+)
+
+// nodeHeaderSize is the per-page header: level byte, one reserved
+// byte, a 2-byte entry count, and 4 reserved bytes.
+const nodeHeaderSize = 8
+
+// EntrySize is the on-page size of one node entry: a 16-byte rectangle
+// plus a 4-byte reference (child page for internal nodes, object ID for
+// leaves) — the same 20-byte shape as a data record.
+const EntrySize = 20
+
+// Entry is one slot of a node: a bounding rectangle and a reference.
+// In an internal node Ref is the child's iosim.PageID; in a leaf it is
+// the data object's ID.
+type Entry struct {
+	Rect geom.Rect
+	Ref  uint32
+}
+
+// Node is the decoded form of one R-tree page. Level 0 is a leaf;
+// level h-1 is the root of a tree of height h.
+type Node struct {
+	Level   uint8
+	Entries []Entry
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.Level == 0 }
+
+// MBR returns the bounding rectangle of all entries.
+func (n *Node) MBR() geom.Rect {
+	u := geom.EmptyRect()
+	for _, e := range n.Entries {
+		u = u.Union(e.Rect)
+	}
+	return u
+}
+
+// MaxFanout returns the largest number of entries a node can hold on a
+// page of the given size.
+func MaxFanout(pageSize int) int {
+	return (pageSize - nodeHeaderSize) / EntrySize
+}
+
+// encodeNode serializes n into page, which must be a full page buffer.
+func encodeNode(page []byte, n *Node) error {
+	if len(n.Entries) > MaxFanout(len(page)) {
+		return fmt.Errorf("rtree: %d entries exceed page capacity %d", len(n.Entries), MaxFanout(len(page)))
+	}
+	page[0] = n.Level
+	page[1] = 0
+	binary.LittleEndian.PutUint16(page[2:], uint16(len(n.Entries)))
+	binary.LittleEndian.PutUint32(page[4:], 0)
+	off := nodeHeaderSize
+	for _, e := range n.Entries {
+		binary.LittleEndian.PutUint32(page[off+0:], math.Float32bits(e.Rect.XLo))
+		binary.LittleEndian.PutUint32(page[off+4:], math.Float32bits(e.Rect.YLo))
+		binary.LittleEndian.PutUint32(page[off+8:], math.Float32bits(e.Rect.XHi))
+		binary.LittleEndian.PutUint32(page[off+12:], math.Float32bits(e.Rect.YHi))
+		binary.LittleEndian.PutUint32(page[off+16:], e.Ref)
+		off += EntrySize
+	}
+	return nil
+}
+
+// decodeNodeInto deserializes a page into n, reusing n.Entries.
+func decodeNodeInto(page []byte, n *Node) error {
+	if len(page) < nodeHeaderSize {
+		return fmt.Errorf("rtree: page of %d bytes too small", len(page))
+	}
+	count := int(binary.LittleEndian.Uint16(page[2:]))
+	if nodeHeaderSize+count*EntrySize > len(page) {
+		return fmt.Errorf("rtree: corrupt node: %d entries on %d-byte page", count, len(page))
+	}
+	n.Level = page[0]
+	if cap(n.Entries) < count {
+		n.Entries = make([]Entry, count)
+	} else {
+		n.Entries = n.Entries[:count]
+	}
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		n.Entries[i] = Entry{
+			Rect: geom.Rect{
+				XLo: math.Float32frombits(binary.LittleEndian.Uint32(page[off+0:])),
+				YLo: math.Float32frombits(binary.LittleEndian.Uint32(page[off+4:])),
+				XHi: math.Float32frombits(binary.LittleEndian.Uint32(page[off+8:])),
+				YHi: math.Float32frombits(binary.LittleEndian.Uint32(page[off+12:])),
+			},
+			Ref: binary.LittleEndian.Uint32(page[off+16:]),
+		}
+		off += EntrySize
+	}
+	return nil
+}
+
+// PageReader abstracts where node pages come from: directly from the
+// simulated disk (StoreReader) or through an LRU buffer pool
+// (*iosim.BufferPool), which is how the ST join runs.
+type PageReader interface {
+	Get(p iosim.PageID) ([]byte, error)
+}
+
+// StoreReader adapts an iosim.Store to the PageReader interface,
+// bypassing any caching: every Get is a disk page read.
+type StoreReader struct {
+	Store *iosim.Store
+}
+
+// Get implements PageReader.
+func (s StoreReader) Get(p iosim.PageID) ([]byte, error) { return s.Store.ReadPage(p) }
+
+var _ PageReader = StoreReader{}
+var _ PageReader = (*iosim.BufferPool)(nil)

@@ -1,0 +1,803 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+	"unijoin/internal/stream"
+)
+
+func newStore() *iosim.Store { return iosim.NewStore(iosim.DefaultPageSize) }
+
+func genRecords(rng *rand.Rand, n int, span, maxExt float64) []geom.Record {
+	recs := make([]geom.Record, n)
+	for i := range recs {
+		x := rng.Float64() * span
+		y := rng.Float64() * span
+		recs[i] = geom.Record{
+			Rect: geom.NewRect(float32(x), float32(y),
+				float32(x+rng.Float64()*maxExt), float32(y+rng.Float64()*maxExt)),
+			ID: uint32(i),
+		}
+	}
+	return recs
+}
+
+// smallOpts keeps trees multi-level at test scale.
+func smallOpts() BuildOptions {
+	return BuildOptions{Fanout: 16, FillFactor: 0.75, AreaSlack: 0.20, SortMemory: 1 << 20}
+}
+
+func buildTree(t *testing.T, recs []geom.Record, universe geom.Rect, opts BuildOptions) (*Tree, *iosim.Store) {
+	t.Helper()
+	store := newStore()
+	tree, err := BuildFromSlice(store, recs, universe, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, store
+}
+
+func TestNodeCodecRoundTrip(t *testing.T) {
+	page := make([]byte, iosim.DefaultPageSize)
+	n := &Node{Level: 3}
+	for i := 0; i < 100; i++ {
+		n.Entries = append(n.Entries, Entry{
+			Rect: geom.NewRect(float32(i), float32(i*2), float32(i+5), float32(i*2+7)),
+			Ref:  uint32(1000 + i),
+		})
+	}
+	if err := encodeNode(page, n); err != nil {
+		t.Fatal(err)
+	}
+	var got Node
+	if err := decodeNodeInto(page, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != 3 || len(got.Entries) != 100 {
+		t.Fatalf("level=%d entries=%d", got.Level, len(got.Entries))
+	}
+	for i := range n.Entries {
+		if got.Entries[i] != n.Entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestNodeCodecRejectsOverflow(t *testing.T) {
+	page := make([]byte, 256)
+	n := &Node{}
+	for i := 0; i < MaxFanout(256)+1; i++ {
+		n.Entries = append(n.Entries, Entry{})
+	}
+	if err := encodeNode(page, n); err == nil {
+		t.Fatal("overflow must be rejected")
+	}
+}
+
+func TestNodeCodecRejectsCorrupt(t *testing.T) {
+	var n Node
+	if err := decodeNodeInto(make([]byte, 4), &n); err == nil {
+		t.Fatal("short page must be rejected")
+	}
+	page := make([]byte, 256)
+	page[2] = 0xFF // entry count way past capacity
+	page[3] = 0xFF
+	if err := decodeNodeInto(page, &n); err == nil {
+		t.Fatal("corrupt count must be rejected")
+	}
+}
+
+func TestMaxFanoutMatchesPaper(t *testing.T) {
+	// An 8 KB page must hold at least the paper's fanout of 400.
+	if got := MaxFanout(iosim.DefaultPageSize); got < 400 {
+		t.Fatalf("MaxFanout(8192) = %d, want >= 400", got)
+	}
+}
+
+func TestBuildSmallTreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 2000, 1000, 20)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	if err := tree.Validate(StoreReader{store}); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumRecords() != 2000 {
+		t.Fatalf("records = %d", tree.NumRecords())
+	}
+	if tree.Height() < 2 {
+		t.Fatalf("height = %d, want multi-level", tree.Height())
+	}
+	if tree.NumLeaves() >= tree.NumNodes() {
+		t.Fatal("node accounting broken")
+	}
+	if tree.SizeBytes() != int64(tree.NumNodes())*int64(store.PageSize()) {
+		t.Fatal("size accounting broken")
+	}
+}
+
+func TestBuildEmptyTree(t *testing.T) {
+	tree, store := buildTree(t, nil, geom.NewRect(0, 0, 1, 1), smallOpts())
+	if tree.Height() != 1 || tree.NumNodes() != 1 || tree.NumRecords() != 0 {
+		t.Fatalf("empty tree: h=%d nodes=%d", tree.Height(), tree.NumNodes())
+	}
+	var found int
+	if err := tree.Query(StoreReader{store}, geom.NewRect(0, 0, 1, 1), func(geom.Record) { found++ }); err != nil {
+		t.Fatal(err)
+	}
+	if found != 0 {
+		t.Fatal("query on empty tree returned records")
+	}
+	sc := tree.Scanner(StoreReader{store})
+	if _, ok, err := sc.Next(); ok || err != nil {
+		t.Fatalf("scan on empty tree: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBuildSingleRecord(t *testing.T) {
+	recs := []geom.Record{{Rect: geom.NewRect(1, 2, 3, 4), ID: 42}}
+	tree, store := buildTree(t, recs, geom.NewRect(0, 0, 10, 10), smallOpts())
+	if tree.Height() != 1 || tree.NumNodes() != 1 {
+		t.Fatalf("h=%d nodes=%d", tree.Height(), tree.NumNodes())
+	}
+	if err := tree.Validate(StoreReader{store}); err != nil {
+		t.Fatal(err)
+	}
+	var got []geom.Record
+	sc := tree.Scanner(StoreReader{store})
+	for {
+		r, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 1 || got[0].ID != 42 {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestQueryMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := geom.NewRect(0, 0, 500, 500)
+		recs := genRecords(rng, 300+rng.Intn(700), 500, 40)
+		store := newStore()
+		tree, err := BuildFromSlice(store, recs, universe, smallOpts())
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			w := geom.NewRect(
+				float32(rng.Float64()*400), float32(rng.Float64()*400),
+				float32(rng.Float64()*500), float32(rng.Float64()*500))
+			want := map[uint32]bool{}
+			for _, r := range recs {
+				if r.Rect.Intersects(w) {
+					want[r.ID] = true
+				}
+			}
+			got := map[uint32]bool{}
+			if err := tree.Query(StoreReader{store}, w, func(r geom.Record) { got[r.ID] = true }); err != nil {
+				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for id := range want {
+				if !got[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScannerYieldsSortedPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := geom.NewRect(0, 0, 500, 500)
+		recs := genRecords(rng, 200+rng.Intn(800), 500, 30)
+		store := newStore()
+		tree, err := BuildFromSlice(store, recs, universe, smallOpts())
+		if err != nil {
+			return false
+		}
+		sc := tree.Scanner(StoreReader{store})
+		var got []geom.Record
+		for {
+			r, ok, err := sc.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			got = append(got, r)
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Rect.YLo < got[i-1].Rect.YLo {
+				return false
+			}
+		}
+		seen := map[uint32]geom.Record{}
+		for _, r := range recs {
+			seen[r.ID] = r
+		}
+		for _, r := range got {
+			orig, ok := seen[r.ID]
+			if !ok || orig != r {
+				return false
+			}
+			delete(seen, r.ID)
+		}
+		return len(seen) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScannerTouchesEveryPageExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 5000, 1000, 15)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	store.ResetCounters()
+	sc := tree.Scanner(StoreReader{store})
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if sc.PagesRead() != int64(tree.NumNodes()) {
+		t.Fatalf("pages read = %d, nodes = %d (Table 4 optimality)", sc.PagesRead(), tree.NumNodes())
+	}
+	if got := store.Counters().Reads(); got != int64(tree.NumNodes()) {
+		t.Fatalf("store reads = %d, nodes = %d", got, tree.NumNodes())
+	}
+}
+
+func TestScannerMemoryIsSmallFractionOfData(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 20000, 1000, 5)
+	tree, store := buildTree(t, recs, universe, BuildOptions{Fanout: 64, FillFactor: 0.75, AreaSlack: 0.2, SortMemory: 1 << 20})
+	sc := tree.Scanner(StoreReader{store})
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	dataBytes := int(tree.NumRecords()) * geom.RecordSize
+	if sc.MaxBytes() == 0 {
+		t.Fatal("memory not tracked")
+	}
+	// Table 3: the priority queue is always below a few percent of the
+	// data size for geographically distributed data.
+	if sc.MaxBytes() > dataBytes/5 {
+		t.Fatalf("scanner used %d bytes for %d bytes of data", sc.MaxBytes(), dataBytes)
+	}
+}
+
+func TestWindowScannerFiltersAndSkipsPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 8000, 1000, 10)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	window := geom.NewRect(0, 0, 200, 200) // 4% of the universe
+
+	var want []uint32
+	for _, r := range recs {
+		if r.Rect.Intersects(window) {
+			want = append(want, r.ID)
+		}
+	}
+	sc := tree.WindowScanner(StoreReader{store}, window)
+	var got []uint32
+	prevY := float32(-1e30)
+	for {
+		r, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if r.Rect.YLo < prevY {
+			t.Fatal("window scan out of order")
+		}
+		prevY = r.Rect.YLo
+		if !r.Rect.Intersects(window) {
+			t.Fatal("record outside window")
+		}
+		got = append(got, r.ID)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	// The point of the restriction: far fewer pages than the full tree.
+	if sc.PagesRead() >= int64(tree.NumNodes())/2 {
+		t.Fatalf("window scan read %d of %d pages", sc.PagesRead(), tree.NumNodes())
+	}
+}
+
+func TestPackingRatioNearPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 30000, 1000, 8)
+	tree, _ := buildTree(t, recs, universe, DefaultBuildOptions())
+	// Paper: "average packing ratio of around 90%"; accept a band.
+	if r := tree.PackingRatio(); r < 0.70 || r > 1.0 {
+		t.Fatalf("packing ratio = %.2f", r)
+	}
+}
+
+func TestPackFullProducesFullerNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 20000, 1000, 8)
+	opts := smallOpts()
+	tree75, _ := buildTree(t, recs, universe, opts)
+	opts.PackFull = true
+	tree100, _ := buildTree(t, recs, universe, opts)
+	if tree100.NumLeaves() >= tree75.NumLeaves() {
+		t.Fatalf("full packing should use fewer leaves: %d vs %d",
+			tree100.NumLeaves(), tree75.NumLeaves())
+	}
+	if tree100.PackingRatio() <= tree75.PackingRatio() {
+		t.Fatal("full packing should raise the packing ratio")
+	}
+}
+
+func TestSiblingLeavesAreContiguousOnDisk(t *testing.T) {
+	// The bulk loader allocates each level sequentially, giving the
+	// layout Section 6.2 credits for ST's sequential I/O.
+	rng := rand.New(rand.NewSource(14))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 4000, 1000, 10)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	var n Node
+	if err := tree.ReadNode(StoreReader{store}, tree.Root(), &n); err != nil {
+		t.Fatal(err)
+	}
+	if n.Leaf() {
+		t.Skip("tree too small")
+	}
+	// Walk to a level-1 node and check its children are consecutive.
+	for n.Level > 1 {
+		if err := tree.ReadNode(StoreReader{store}, iosim.PageID(n.Entries[0].Ref), &n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(n.Entries); i++ {
+		if n.Entries[i].Ref != n.Entries[i-1].Ref+1 {
+			t.Fatalf("leaf children not contiguous: %d after %d", n.Entries[i].Ref, n.Entries[i-1].Ref)
+		}
+	}
+}
+
+func TestLevelCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 3000, 1000, 10)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	counts, err := tree.LevelCounts(StoreReader{store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != tree.NumLeaves() {
+		t.Fatalf("level 0 count %d != leaves %d", counts[0], tree.NumLeaves())
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Fatal("root level must have one node")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != tree.NumNodes() {
+		t.Fatalf("levels sum to %d, nodes = %d", total, tree.NumNodes())
+	}
+}
+
+func TestCountLeavesIntersecting(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 5000, 1000, 10)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	all, err := tree.CountLeavesIntersecting(StoreReader{store}, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != tree.NumLeaves() {
+		t.Fatalf("full window: %d of %d leaves", all, tree.NumLeaves())
+	}
+	some, err := tree.CountLeavesIntersecting(StoreReader{store}, geom.NewRect(0, 0, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if some <= 0 || some >= all {
+		t.Fatalf("small window: %d of %d leaves", some, all)
+	}
+	none, err := tree.CountLeavesIntersecting(StoreReader{store}, geom.NewRect(5000, 5000, 6000, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != 0 {
+		t.Fatalf("disjoint window: %d leaves", none)
+	}
+}
+
+func TestBuildThroughBufferPoolReader(t *testing.T) {
+	// Reading the tree through a buffer pool must behave identically.
+	rng := rand.New(rand.NewSource(17))
+	universe := geom.NewRect(0, 0, 500, 500)
+	recs := genRecords(rng, 2000, 500, 10)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	pool := iosim.NewBufferPool(store, 8)
+	if err := tree.Validate(pool); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Misses() == 0 {
+		t.Fatal("validation did not read through the pool")
+	}
+	// Repeated queries revisit the root and upper levels: hits appear.
+	for i := 0; i < 3; i++ {
+		if err := tree.Query(pool, geom.NewRect(0, 0, 50, 50), func(geom.Record) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Hits() == 0 {
+		t.Fatalf("pool produced no hits across repeated queries (misses=%d)", pool.Misses())
+	}
+}
+
+func TestBuildOptionValidation(t *testing.T) {
+	store := newStore()
+	if _, err := BuildFromSlice(store, nil, geom.NewRect(0, 0, 1, 1),
+		BuildOptions{Fanout: 1}); err == nil {
+		t.Fatal("fanout 1 must be rejected")
+	}
+	if _, err := BuildFromSlice(store, nil, geom.NewRect(0, 0, 1, 1),
+		BuildOptions{FillFactor: 1.5}); err == nil {
+		t.Fatal("fill factor > 1 must be rejected")
+	}
+	if _, err := BuildFromSlice(store, nil, geom.NewRect(0, 0, 1, 1),
+		BuildOptions{AreaSlack: -0.1}); err == nil {
+		t.Fatal("negative slack must be rejected")
+	}
+	// Oversized fanout is capped, not rejected.
+	tree, err := BuildFromSlice(store, []geom.Record{{Rect: geom.NewRect(0, 0, 1, 1), ID: 1}},
+		geom.NewRect(0, 0, 1, 1), BuildOptions{Fanout: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Fanout() > MaxFanout(store.PageSize()) {
+		t.Fatal("fanout not capped to page capacity")
+	}
+}
+
+func TestSortRecordsByY(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := genRecords(rng, rng.Intn(500), 100, 10)
+		sortRecordsByY(recs)
+		for i := 1; i < len(recs); i++ {
+			if geom.ByLowerY(recs[i-1], recs[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeStringer(t *testing.T) {
+	tree, _ := buildTree(t, genRecords(rand.New(rand.NewSource(18)), 100, 100, 5),
+		geom.NewRect(0, 0, 100, 100), smallOpts())
+	if tree.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestShuffleLayoutPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 4000, 1000, 10)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	shuffled, err := ShuffleLayout(tree, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shuffled.Validate(StoreReader{store}); err != nil {
+		t.Fatalf("shuffled tree invalid: %v", err)
+	}
+	if err := tree.Validate(StoreReader{store}); err != nil {
+		t.Fatalf("original tree damaged: %v", err)
+	}
+	// Same records come out of both.
+	collectIDs := func(tr *Tree) map[uint32]bool {
+		out := map[uint32]bool{}
+		sc := tr.Scanner(StoreReader{store})
+		for {
+			r, ok, err := sc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return out
+			}
+			out[r.ID] = true
+		}
+	}
+	a, b := collectIDs(tree), collectIDs(shuffled)
+	if len(a) != len(b) || len(a) != len(recs) {
+		t.Fatalf("record sets differ: %d vs %d", len(a), len(b))
+	}
+	// The shuffled layout must actually break sibling contiguity.
+	var n Node
+	if err := shuffled.ReadNode(StoreReader{store}, shuffled.Root(), &n); err != nil {
+		t.Fatal(err)
+	}
+	for n.Level > 1 {
+		if err := shuffled.ReadNode(StoreReader{store}, iosim.PageID(n.Entries[0].Ref), &n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	contiguous := 0
+	for i := 1; i < len(n.Entries); i++ {
+		if n.Entries[i].Ref == n.Entries[i-1].Ref+1 {
+			contiguous++
+		}
+	}
+	if contiguous > len(n.Entries)/2 {
+		t.Fatalf("shuffle left %d of %d children contiguous", contiguous, len(n.Entries))
+	}
+}
+
+func TestNaiveScannerMatchesOptimizedButUsesMoreQueue(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 6000, 1000, 10)
+	tree, store := buildTree(t, recs, universe,
+		BuildOptions{Fanout: 64, FillFactor: 0.75, AreaSlack: 0.2, SortMemory: 1 << 20})
+
+	drain := func(sc *SortedScanner) []geom.Record {
+		var out []geom.Record
+		prev := float32(-1e30)
+		for {
+			r, ok, err := sc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return out
+			}
+			if r.Rect.YLo < prev {
+				t.Fatal("naive scanner out of order")
+			}
+			prev = r.Rect.YLo
+			out = append(out, r)
+		}
+	}
+	opt := drain(tree.Scanner(StoreReader{store}))
+	naive := drain(tree.NaiveScanner(StoreReader{store}))
+	if len(opt) != len(naive) || len(opt) != len(recs) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(opt), len(naive))
+	}
+}
+
+func TestSeededBuildStructureAndContents(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	seedRecs := genRecords(rng, 5000, 1000, 12)
+	store := newStore()
+	seed, err := BuildFromSlice(store, seedRecs, universe, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skewed second relation: most records in one corner so slot
+	// subtrees end up with different heights.
+	var other []geom.Record
+	for i := 0; i < 3000; i++ {
+		x := float32(rng.Float64() * 150)
+		y := float32(rng.Float64() * 150)
+		other = append(other, geom.Record{Rect: geom.NewRect(x, y, x+5, y+5), ID: uint32(i)})
+	}
+	for i := 0; i < 300; i++ {
+		x := float32(500 + rng.Float64()*450)
+		y := float32(500 + rng.Float64()*450)
+		other = append(other, geom.Record{Rect: geom.NewRect(x, y, x+5, y+5), ID: uint32(10000 + i)})
+	}
+	f, err := stream.WriteAll(store, stream.Records, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := SeededBuild(store, seed, f, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seeded.ValidateSeeded(StoreReader{store}); err != nil {
+		t.Fatal(err)
+	}
+	if seeded.NumRecords() != int64(len(other)) {
+		t.Fatalf("records = %d, want %d", seeded.NumRecords(), len(other))
+	}
+	// The scanner must still produce a sorted permutation despite the
+	// uneven subtree heights.
+	sc := seeded.Scanner(StoreReader{store})
+	seen := map[uint32]bool{}
+	prev := float32(-1e30)
+	for {
+		r, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if r.Rect.YLo < prev {
+			t.Fatal("seeded scan out of order")
+		}
+		prev = r.Rect.YLo
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != len(other) {
+		t.Fatalf("scanned %d of %d", len(seen), len(other))
+	}
+	// Queries work too.
+	w := geom.NewRect(0, 0, 150, 150)
+	want := 0
+	for _, r := range other {
+		if r.Rect.Intersects(w) {
+			want++
+		}
+	}
+	got := 0
+	if err := seeded.Query(StoreReader{store}, w, func(geom.Record) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("query: %d of %d", got, want)
+	}
+}
+
+func TestSeededBuildEmptyInputsFallBack(t *testing.T) {
+	store := newStore()
+	universe := geom.NewRect(0, 0, 100, 100)
+	seed, err := BuildFromSlice(store, genRecords(rand.New(rand.NewSource(41)), 200, 100, 5),
+		universe, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := stream.WriteAll(store, stream.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := SeededBuild(store, seed, empty, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.NumRecords() != 0 {
+		t.Fatal("empty seeded tree should hold nothing")
+	}
+	if _, err := SeededBuild(store, nil, empty, smallOpts()); err == nil {
+		t.Fatal("nil seed must error")
+	}
+}
+
+func TestExternalScannerMatchesScanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	recs := genRecords(rng, 8000, 1000, 10)
+	tree, store := buildTree(t, recs, universe,
+		BuildOptions{Fanout: 64, FillFactor: 0.75, AreaSlack: 0.2, SortMemory: 1 << 20})
+
+	reference := map[uint32]geom.Record{}
+	sc := tree.Scanner(StoreReader{store})
+	for {
+		r, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		reference[r.ID] = r
+	}
+
+	// Tiny budget to force spills; output must still be a sorted
+	// permutation identical in content.
+	ext := tree.NewExternalScanner(StoreReader{store}, 0)
+	prev := float32(-1e30)
+	count := 0
+	for {
+		r, ok, err := ext.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if r.Rect.YLo < prev {
+			t.Fatalf("external scan out of order at %d", count)
+		}
+		prev = r.Rect.YLo
+		want, exists := reference[r.ID]
+		if !exists || want != r {
+			t.Fatalf("record mismatch for id %d", r.ID)
+		}
+		delete(reference, r.ID)
+		count++
+	}
+	if len(reference) != 0 {
+		t.Fatalf("%d records missing from external scan", len(reference))
+	}
+	if ext.Spills() == 0 {
+		t.Fatal("expected spills with a zero budget")
+	}
+	if ext.PagesRead() != int64(tree.NumNodes()) {
+		t.Fatalf("external scan read %d pages, want %d", ext.PagesRead(), tree.NumNodes())
+	}
+}
+
+func TestExternalScannerLargeBudgetNoSpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	universe := geom.NewRect(0, 0, 500, 500)
+	recs := genRecords(rng, 2000, 500, 10)
+	tree, store := buildTree(t, recs, universe, smallOpts())
+	ext := tree.NewExternalScanner(StoreReader{store}, 8<<20)
+	n := 0
+	for {
+		_, ok, err := ext.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("scanned %d of 2000", n)
+	}
+	if ext.Spills() != 0 {
+		t.Fatal("no spills expected with a large budget")
+	}
+}

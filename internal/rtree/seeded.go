@@ -1,0 +1,225 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+	"unijoin/internal/stream"
+)
+
+// SeededBuild constructs a seeded tree in the style of Lo and
+// Ravishankar [21] (discussed in Section 2 of the paper): when only
+// one relation has an index, an index for the other is built "using
+// the existing index as a starting point (or seed)", after which a
+// synchronized tree join can run.
+//
+// The seed slots are the entries of the existing tree's root: each
+// record of the non-indexed relation is assigned to the slot whose
+// rectangle needs the least enlargement to cover it (ties to the
+// smaller slot), so the new tree's top-level regions mirror the
+// existing tree's and the subsequent tree join prunes well. Each
+// slot's records are then Hilbert bulk-loaded into a subtree, and a
+// new root grafts the subtrees together.
+//
+// Because slots receive different record counts, subtrees may have
+// different heights; the grafted root's level is one above the tallest
+// subtree, and join algorithms (ST, BFRJ) handle the unevenness with
+// their usual unequal-level descent. ValidateSeeded checks the
+// relaxed invariants.
+func SeededBuild(store *iosim.Store, seed *Tree, in *iosim.File, opts BuildOptions) (*Tree, error) {
+	opts, err := opts.normalize(store.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	if seed == nil {
+		return nil, fmt.Errorf("rtree: seeded build requires a seed tree")
+	}
+	if err := stream.Validate(in, stream.Records); err != nil {
+		return nil, err
+	}
+
+	// Read the seed slots from the existing tree's root.
+	var root Node
+	if err := seed.ReadNode(StoreReader{Store: store}, seed.Root(), &root); err != nil {
+		return nil, err
+	}
+	slots := make([]geom.Rect, 0, len(root.Entries))
+	for _, e := range root.Entries {
+		slots = append(slots, e.Rect)
+	}
+	if len(slots) == 0 {
+		// Degenerate seed: fall back to a plain bulk load over the
+		// records' own extent.
+		return Build(store, in, seed.universe, opts)
+	}
+
+	// Distribute records to slots by least enlargement.
+	buckets := make([][]geom.Record, len(slots))
+	rd := stream.NewReader(in, stream.Records)
+	var total int64
+	for {
+		rec, ok, err := rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		total++
+		best, bestCost := 0, -1.0
+		for i, s := range slots {
+			cost := s.EnlargementArea(rec.Rect)
+			if bestCost < 0 || cost < bestCost ||
+				(cost == bestCost && s.Area() < slots[best].Area()) {
+				best, bestCost = i, cost
+			}
+		}
+		buckets[best] = append(buckets[best], rec)
+	}
+
+	// Bulk-load one subtree per non-empty slot; graft under a new root.
+	t := &Tree{store: store, fanout: opts.Fanout, universe: seed.universe, mbr: geom.EmptyRect()}
+	var rootEntries []Entry
+	maxLevel := uint8(0)
+	for i, recs := range buckets {
+		if len(recs) == 0 {
+			continue
+		}
+		// Sort the bucket in Hilbert order of the slot's region, then
+		// pack with the standard per-level packer.
+		universe := slots[i]
+		sort.Slice(recs, func(x, y int) bool {
+			hx := geom.HilbertValue(recs[x].Rect.Center(), universe)
+			hy := geom.HilbertValue(recs[y].Rect.Center(), universe)
+			if hx != hy {
+				return hx < hy
+			}
+			return recs[x].ID < recs[y].ID
+		})
+		sub, err := t.packSubtree(recs, opts)
+		if err != nil {
+			return nil, err
+		}
+		rootEntries = append(rootEntries, sub.entry)
+		if sub.level > maxLevel {
+			maxLevel = sub.level
+		}
+		t.mbr = t.mbr.Union(sub.entry.Rect)
+		t.entries += int64(len(recs))
+	}
+
+	if len(rootEntries) == 0 {
+		return Build(store, in, seed.universe, opts)
+	}
+	if len(rootEntries) > opts.Fanout {
+		return nil, fmt.Errorf("rtree: %d seed slots exceed fanout %d", len(rootEntries), opts.Fanout)
+	}
+	rootPage := store.Alloc()
+	buf, err := store.WritablePage(rootPage)
+	if err != nil {
+		return nil, err
+	}
+	rootNode := Node{Level: maxLevel + 1, Entries: rootEntries}
+	if err := encodeNode(buf, &rootNode); err != nil {
+		return nil, err
+	}
+	t.numNodes++
+	t.root = rootPage
+	t.height = int(maxLevel) + 2
+	return t, nil
+}
+
+// subtreeResult describes one packed subtree.
+type subtreeResult struct {
+	entry Entry
+	level uint8
+}
+
+// packSubtree bulk-loads records (already in Hilbert order) into a
+// subtree and returns its root entry and level.
+func (t *Tree) packSubtree(recs []geom.Record, opts BuildOptions) (subtreeResult, error) {
+	pos := 0
+	next := func() (Entry, bool, error) {
+		if pos >= len(recs) {
+			return Entry{}, false, nil
+		}
+		e := Entry{Rect: recs[pos].Rect, Ref: recs[pos].ID}
+		pos++
+		return e, true, nil
+	}
+	level, err := t.packLevel(0, next, opts)
+	if err != nil {
+		return subtreeResult{}, err
+	}
+	t.leaves += len(level)
+	h := uint8(0)
+	for len(level) > 1 {
+		h++
+		src := level
+		p := 0
+		up := func() (Entry, bool, error) {
+			if p >= len(src) {
+				return Entry{}, false, nil
+			}
+			e := src[p]
+			p++
+			return e, true, nil
+		}
+		level, err = t.packLevel(h, up, opts)
+		if err != nil {
+			return subtreeResult{}, err
+		}
+	}
+	return subtreeResult{entry: level[0], level: h}, nil
+}
+
+// ValidateSeeded checks the relaxed structural invariants of a seeded
+// tree: parent rectangles contain (rather than equal) child MBRs at
+// the grafted root, levels strictly decrease along edges, and all
+// records are reachable exactly once.
+func (t *Tree) ValidateSeeded(pr PageReader) error {
+	var records int64
+	var nodes int
+	var walk func(p iosim.PageID, parentLevel int, within *geom.Rect) error
+	walk = func(p iosim.PageID, parentLevel int, within *geom.Rect) error {
+		var n Node
+		if err := t.ReadNode(pr, p, &n); err != nil {
+			return err
+		}
+		nodes++
+		if int(n.Level) >= parentLevel {
+			return fmt.Errorf("rtree: level %d not below parent level %d", n.Level, parentLevel)
+		}
+		if len(n.Entries) > t.fanout {
+			return fmt.Errorf("rtree: node %d has %d entries over fanout", p, len(n.Entries))
+		}
+		if within != nil {
+			if m := n.MBR(); m.Valid() && !within.Contains(m) {
+				return fmt.Errorf("rtree: node %d MBR %v escapes parent %v", p, m, *within)
+			}
+		}
+		if n.Leaf() {
+			records += int64(len(n.Entries))
+			return nil
+		}
+		for _, e := range n.Entries {
+			r := e.Rect
+			if err := walk(iosim.PageID(e.Ref), int(n.Level), &r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height, nil); err != nil {
+		return err
+	}
+	if records != t.entries {
+		return fmt.Errorf("rtree: %d records reachable, tree claims %d", records, t.entries)
+	}
+	if nodes != t.numNodes {
+		return fmt.Errorf("rtree: %d nodes reachable, tree claims %d", nodes, t.numNodes)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package rtree
+
+import (
+	"math/rand"
+
+	"unijoin/internal/iosim"
+)
+
+// ShuffleLayout rewrites a tree onto freshly allocated pages in random
+// order, preserving its logical structure exactly. Bulk loading lays
+// siblings out contiguously, which Section 6.2 identifies as the source
+// of ST's sequential-I/O advantage; a shuffled layout models an index
+// degraded by incremental updates ("its performance may degrade if the
+// R-tree is updated frequently after bulk loading"). The returned tree
+// shares the store with the original; the original remains valid.
+//
+// The rewrite allocates NumNodes new pages and copies each node once,
+// so it charges one read and one write per node to the store counters
+// (callers snapshot around it as with bulk loading).
+func ShuffleLayout(t *Tree, seed int64) (*Tree, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Collect all pages of the tree in BFS order.
+	var pages []iosim.PageID
+	var walk func(p iosim.PageID) error
+	pr := StoreReader{Store: t.store}
+	walk = func(p iosim.PageID) error {
+		pages = append(pages, p)
+		var n Node
+		if err := t.ReadNode(pr, p, &n); err != nil {
+			return err
+		}
+		if n.Leaf() {
+			return nil
+		}
+		for _, e := range n.Entries {
+			if err := walk(iosim.PageID(e.Ref)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+
+	// Allocate a contiguous block, then assign old pages to new slots
+	// in random order.
+	base := t.store.AllocN(len(pages))
+	perm := rng.Perm(len(pages))
+	remap := make(map[iosim.PageID]iosim.PageID, len(pages))
+	for i, old := range pages {
+		remap[old] = base + iosim.PageID(perm[i])
+	}
+
+	// Copy nodes with child pointers rewritten.
+	var n Node
+	for _, old := range pages {
+		if err := t.ReadNode(pr, old, &n); err != nil {
+			return nil, err
+		}
+		if !n.Leaf() {
+			for i := range n.Entries {
+				n.Entries[i].Ref = uint32(remap[iosim.PageID(n.Entries[i].Ref)])
+			}
+		}
+		buf, err := t.store.WritablePage(remap[old])
+		if err != nil {
+			return nil, err
+		}
+		if err := encodeNode(buf, &n); err != nil {
+			return nil, err
+		}
+	}
+
+	clone := *t
+	clone.root = remap[t.root]
+	return &clone, nil
+}

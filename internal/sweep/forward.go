@@ -1,0 +1,68 @@
+package sweep
+
+import "unijoin/internal/geom"
+
+// forwardEntrySize approximates the resident bytes per active entry in
+// the Forward structure: the 20-byte record padded to its in-memory
+// struct size.
+const forwardEntrySize = 24
+
+// Forward is the Forward-Sweep active list: an unordered slice of the
+// rectangles currently cut by the sweep line. A query walks the entire
+// list, removing entries that expired below the query's bottom edge and
+// testing x-overlap on the survivors. Insertions are O(1); queries are
+// O(active). It is the structure used by the original implementations
+// of the tree join [8] and PBSM [30], and the baseline that
+// Striped-Sweep beats by a factor of 2-5 in [4].
+type Forward struct {
+	active []geom.Record
+	cmps   int64
+}
+
+var _ Structure = (*Forward)(nil)
+
+// NewForward returns an empty Forward structure.
+func NewForward() *Forward { return &Forward{} }
+
+// Insert implements Structure.
+func (f *Forward) Insert(r geom.Record) {
+	f.active = append(f.active, r)
+}
+
+// QueryExpire implements Structure. Expiry strictly below q.Rect.YLo
+// keeps rectangles whose top edge touches the sweep line, preserving
+// closed-rectangle semantics.
+func (f *Forward) QueryExpire(q geom.Record, emit func(geom.Record)) {
+	i := 0
+	for i < len(f.active) {
+		s := f.active[i]
+		f.cmps++
+		if s.Rect.YHi < q.Rect.YLo {
+			// Expired: swap-delete. Order within the list is irrelevant.
+			last := len(f.active) - 1
+			f.active[i] = f.active[last]
+			f.active = f.active[:last]
+			continue
+		}
+		f.cmps++
+		if s.Rect.IntersectsX(q.Rect) {
+			emit(s)
+		}
+		i++
+	}
+}
+
+// Len implements Structure.
+func (f *Forward) Len() int { return len(f.active) }
+
+// Bytes implements Structure.
+func (f *Forward) Bytes() int { return len(f.active) * forwardEntrySize }
+
+// Comparisons implements Structure.
+func (f *Forward) Comparisons() int64 { return f.cmps }
+
+// Reset implements Structure.
+func (f *Forward) Reset() {
+	f.active = f.active[:0]
+	f.cmps = 0
+}

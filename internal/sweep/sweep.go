@@ -1,0 +1,165 @@
+// Package sweep implements the internal-memory plane-sweep machinery
+// shared by every join in the paper (Section 3.1): the sweep advances a
+// horizontal line upward through both inputs in lower-y order, and a
+// dynamic interval structure per input holds the x-projections of the
+// rectangles currently cut by the line. Any pair of intersecting
+// rectangles must be simultaneously "active", so testing each arriving
+// rectangle against the other input's active set finds exactly the
+// intersecting pairs.
+//
+// Two interval structures from Arge et al. [4] are provided:
+//
+//   - Forward: the unordered active list used by earlier spatial join
+//     implementations (Brinkhoff et al., Patel and DeWitt). Queries
+//     scan the whole list, expiring dead entries on the way.
+//   - Striped: the paper's fastest structure. The x-axis is cut into
+//     equal strips; an interval registers in every strip it overlaps,
+//     so a query only scans lists in the strips it overlaps, testing
+//     exact x-overlap only at partial ends.
+//
+// The Join kernel consumes two y-sorted record sources — sorted files
+// (SSSJ), R-tree extraction adapters (PQ), or in-memory slices (node
+// joins in ST, partitions in PBSM all use the structures directly.)
+package sweep
+
+import (
+	"fmt"
+
+	"unijoin/internal/geom"
+)
+
+// Source yields records in nondecreasing lower-y order. It is
+// satisfied by *stream.Reader[geom.Record] and by rtree.SortedScanner.
+type Source interface {
+	Next() (geom.Record, bool, error)
+}
+
+// Structure is a dynamic set of active rectangles (intervals on the
+// sweep line). Implementations may expire lazily: an entry whose upper
+// y lies below the sweep line may linger until a query touches it.
+type Structure interface {
+	// Insert adds r to the active set.
+	Insert(r geom.Record)
+	// QueryExpire advances the structure's notion of the sweep line to
+	// q's lower y — dropping entries that ended below it — and calls
+	// emit for every stored record whose x-projection intersects q's.
+	QueryExpire(q geom.Record, emit func(geom.Record))
+	// Len returns the number of stored entries, counting an interval
+	// once per strip it occupies in strip-based structures.
+	Len() int
+	// Bytes returns the approximate resident size of the structure,
+	// the quantity reported in Table 3 of the paper.
+	Bytes() int
+	// Comparisons returns a running count of x-overlap and expiry
+	// tests, the kernel's CPU-work proxy.
+	Comparisons() int64
+	// Reset empties the structure for reuse.
+	Reset()
+}
+
+// Stats summarizes one run of the Join kernel.
+type Stats struct {
+	Pairs       int64 // intersecting pairs reported
+	MaxLen      int   // peak combined entries across both structures
+	MaxBytes    int   // peak combined footprint (Table 3's "Sweep Structure")
+	Comparisons int64 // total x-overlap/expiry tests in both structures
+}
+
+// Join runs the plane sweep over two y-sorted sources, using sa and sb
+// as the active sets for a and b respectively, and calls emit for every
+// intersecting pair (ra from a, rb from b). It returns sweep statistics.
+//
+// Join fails if either source yields records out of y-order, since a
+// silent ordering bug would produce silently missing pairs.
+func Join(a, b Source, sa, sb Structure, emit func(ra, rb geom.Record)) (Stats, error) {
+	var st Stats
+	sa.Reset()
+	sb.Reset()
+
+	ra, okA, err := a.Next()
+	if err != nil {
+		return st, err
+	}
+	rb, okB, err := b.Next()
+	if err != nil {
+		return st, err
+	}
+	var lastY geom.Coord
+	haveLast := false
+
+	note := func() {
+		if l := sa.Len() + sb.Len(); l > st.MaxLen {
+			st.MaxLen = l
+		}
+		if bts := sa.Bytes() + sb.Bytes(); bts > st.MaxBytes {
+			st.MaxBytes = bts
+		}
+	}
+
+	for okA || okB {
+		// Advance the side with the lower bottom edge; ties go to a so
+		// that coincident edges still meet in the structures.
+		useA := okA && (!okB || ra.Rect.YLo <= rb.Rect.YLo)
+		var cur geom.Record
+		if useA {
+			cur = ra
+		} else {
+			cur = rb
+		}
+		if haveLast && cur.Rect.YLo < lastY {
+			return st, fmt.Errorf("sweep: source not sorted: y %g after %g", cur.Rect.YLo, lastY)
+		}
+		lastY = cur.Rect.YLo
+		haveLast = true
+
+		if useA {
+			sb.QueryExpire(cur, func(other geom.Record) {
+				st.Pairs++
+				emit(cur, other)
+			})
+			sa.Insert(cur)
+			ra, okA, err = a.Next()
+		} else {
+			sa.QueryExpire(cur, func(other geom.Record) {
+				st.Pairs++
+				emit(other, cur)
+			})
+			sb.Insert(cur)
+			rb, okB, err = b.Next()
+		}
+		if err != nil {
+			return st, err
+		}
+		note()
+	}
+	st.Comparisons = sa.Comparisons() + sb.Comparisons()
+	return st, nil
+}
+
+// SliceSource adapts an in-memory, y-sorted slice to the Source
+// interface.
+type SliceSource struct {
+	recs []geom.Record
+	pos  int
+}
+
+// NewSliceSource wraps recs, which must already be sorted by lower y.
+func NewSliceSource(recs []geom.Record) *SliceSource {
+	return &SliceSource{recs: recs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (geom.Record, bool, error) {
+	if s.pos >= len(s.recs) {
+		return geom.Record{}, false, nil
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// JoinSlices is a convenience wrapper joining two y-sorted slices with
+// fresh structures from the given constructor.
+func JoinSlices(a, b []geom.Record, mk func() Structure, emit func(ra, rb geom.Record)) (Stats, error) {
+	return Join(NewSliceSource(a), NewSliceSource(b), mk(), mk(), emit)
+}

@@ -1,0 +1,309 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unijoin/internal/geom"
+)
+
+// genRects builds n random rectangles in a [0,span]x[0,span] universe
+// with the given max extent, sorted by lower y as the kernel requires.
+func genRects(rng *rand.Rand, n int, span, maxExt float64, idBase uint32) []geom.Record {
+	recs := make([]geom.Record, n)
+	for i := range recs {
+		x := rng.Float64() * span
+		y := rng.Float64() * span
+		w := rng.Float64() * maxExt
+		h := rng.Float64() * maxExt
+		recs[i] = geom.Record{
+			Rect: geom.NewRect(float32(x), float32(y), float32(x+w), float32(y+h)),
+			ID:   idBase + uint32(i),
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return geom.ByLowerY(recs[i], recs[j]) < 0 })
+	return recs
+}
+
+// bruteForce computes the reference pair set.
+func bruteForce(a, b []geom.Record) map[geom.Pair]bool {
+	out := make(map[geom.Pair]bool)
+	for _, ra := range a {
+		for _, rb := range b {
+			if ra.Rect.Intersects(rb.Rect) {
+				out[geom.Pair{Left: ra.ID, Right: rb.ID}] = true
+			}
+		}
+	}
+	return out
+}
+
+// collectJoin runs the kernel and gathers emitted pairs, failing the
+// test on duplicates.
+func collectJoin(t *testing.T, a, b []geom.Record, mk func() Structure) (map[geom.Pair]bool, Stats) {
+	t.Helper()
+	got := make(map[geom.Pair]bool)
+	stats, err := JoinSlices(a, b, mk, func(ra, rb geom.Record) {
+		p := geom.Pair{Left: ra.ID, Right: rb.ID}
+		if got[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		got[p] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func structures(universe geom.Rect) map[string]func() Structure {
+	return map[string]func() Structure{
+		"forward":    func() Structure { return NewForward() },
+		"striped":    func() Structure { return NewStripedFor(universe, DefaultStrips) },
+		"striped-1":  func() Structure { return NewStripedFor(universe, 1) },
+		"striped-7":  func() Structure { return NewStripedFor(universe, 7) },
+		"striped-4k": func() Structure { return NewStripedFor(universe, 4096) },
+	}
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	universe := geom.NewRect(0, 0, 1000, 1000)
+	for name, mk := range structures(universe) {
+		t.Run(name, func(t *testing.T) {
+			a := genRects(rng, 300, 1000, 60, 0)
+			b := genRects(rng, 300, 1000, 60, 10000)
+			want := bruteForce(a, b)
+			got, stats := collectJoin(t, a, b, mk)
+			if len(got) != len(want) {
+				t.Fatalf("got %d pairs, want %d", len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("missing pair %v", p)
+				}
+			}
+			if stats.Pairs != int64(len(want)) {
+				t.Fatalf("stats.Pairs = %d, want %d", stats.Pairs, len(want))
+			}
+		})
+	}
+}
+
+func TestJoinPropertyRandomWorkloads(t *testing.T) {
+	universe := geom.NewRect(0, 0, 500, 500)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genRects(rng, 50+rng.Intn(150), 500, 80, 0)
+		b := genRects(rng, 50+rng.Intn(150), 500, 80, 50000)
+		want := bruteForce(a, b)
+		for _, mk := range structures(universe) {
+			got := make(map[geom.Pair]bool)
+			dup := false
+			_, err := JoinSlices(a, b, mk, func(ra, rb geom.Record) {
+				p := geom.Pair{Left: ra.ID, Right: rb.ID}
+				if got[p] {
+					dup = true
+				}
+				got[p] = true
+			})
+			if err != nil || dup || len(got) != len(want) {
+				return false
+			}
+			for p := range want {
+				if !got[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	universe := geom.NewRect(0, 0, 10, 10)
+	a := genRects(rand.New(rand.NewSource(1)), 10, 10, 2, 0)
+	for name, mk := range structures(universe) {
+		t.Run(name, func(t *testing.T) {
+			got, _ := collectJoin(t, nil, nil, mk)
+			if len(got) != 0 {
+				t.Fatal("empty x empty should be empty")
+			}
+			got, _ = collectJoin(t, a, nil, mk)
+			if len(got) != 0 {
+				t.Fatal("a x empty should be empty")
+			}
+			got, _ = collectJoin(t, nil, a, mk)
+			if len(got) != 0 {
+				t.Fatal("empty x a should be empty")
+			}
+		})
+	}
+}
+
+func TestJoinDetectsUnsortedInput(t *testing.T) {
+	a := []geom.Record{
+		{Rect: geom.NewRect(0, 5, 1, 6), ID: 1},
+		{Rect: geom.NewRect(0, 1, 1, 2), ID: 2}, // out of order
+	}
+	b := []geom.Record{{Rect: geom.NewRect(0, 0, 10, 10), ID: 3}}
+	_, err := JoinSlices(a, b, func() Structure { return NewForward() }, func(_, _ geom.Record) {})
+	if err == nil {
+		t.Fatal("unsorted input must be rejected")
+	}
+}
+
+func TestExpiryBoundsActiveSet(t *testing.T) {
+	// Rectangles arranged in a tall column, each alive for a short y
+	// range: the active set must stay small (the square-root rule in
+	// the extreme).
+	var a, b []geom.Record
+	for i := 0; i < 2000; i++ {
+		y := float32(i)
+		a = append(a, geom.Record{Rect: geom.NewRect(0, y, 1, y+0.9), ID: uint32(i)})
+		b = append(b, geom.Record{Rect: geom.NewRect(0.5, y, 1.5, y+0.9), ID: uint32(100000 + i)})
+	}
+	for name, mk := range structures(geom.NewRect(0, 0, 2000, 2000)) {
+		t.Run(name, func(t *testing.T) {
+			_, stats := collectJoin(t, a, b, mk)
+			// A handful of rectangles are alive at a time; each may
+			// register in a few strips, and compaction is amortized, so
+			// allow slack — a real expiry leak would reach thousands.
+			if stats.MaxLen > 200 {
+				t.Fatalf("active set grew to %d; expiry broken?", stats.MaxLen)
+			}
+		})
+	}
+}
+
+func TestStatsTracksBytesAndComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := genRects(rng, 500, 100, 30, 0)
+	b := genRects(rng, 500, 100, 30, 10000)
+	_, stats := collectJoin(t, a, b, func() Structure { return NewForward() })
+	if stats.MaxBytes == 0 || stats.MaxLen == 0 {
+		t.Fatalf("stats not tracked: %+v", stats)
+	}
+	if stats.Comparisons == 0 {
+		t.Fatal("comparison count not tracked")
+	}
+	if stats.MaxBytes < stats.MaxLen*forwardEntrySize {
+		t.Fatalf("bytes %d inconsistent with len %d", stats.MaxBytes, stats.MaxLen)
+	}
+}
+
+func TestStripedCheaperThanForwardOnWideData(t *testing.T) {
+	// Many horizontally-spread rectangles alive at once: Forward scans
+	// the whole active list per query, Striped only the overlapping
+	// strips. The comparison counts should differ by a wide margin;
+	// this is the mechanism behind the 2-5x speedup reported in [4].
+	rng := rand.New(rand.NewSource(4))
+	universe := geom.NewRect(0, 0, 100000, 100)
+	a := genRects(rng, 4000, 100000, 40, 0)
+	b := genRects(rng, 4000, 100000, 40, 100000)
+	// Flatten y so nearly everything is alive simultaneously.
+	for i := range a {
+		a[i].Rect.YLo, a[i].Rect.YHi = 0, 100
+	}
+	for i := range b {
+		b[i].Rect.YLo, b[i].Rect.YHi = 0, 100
+	}
+	_, fstats := collectJoin(t, a, b, func() Structure { return NewForward() })
+	_, sstats := collectJoin(t, a, b, func() Structure { return NewStripedFor(universe, 1024) })
+	if sstats.Comparisons*2 >= fstats.Comparisons {
+		t.Fatalf("striped (%d cmps) should beat forward (%d cmps) by >2x",
+			sstats.Comparisons, fstats.Comparisons)
+	}
+}
+
+func TestStripedClampsOutOfUniverseRecords(t *testing.T) {
+	universe := geom.NewRect(0, 0, 100, 100)
+	a := []geom.Record{{Rect: geom.NewRect(-50, 0, -10, 10), ID: 1}}
+	b := []geom.Record{{Rect: geom.NewRect(-40, 5, -20, 15), ID: 2}}
+	got, _ := collectJoin(t, a, b, func() Structure { return NewStripedFor(universe, 16) })
+	if len(got) != 1 {
+		t.Fatal("out-of-universe rectangles must still join correctly")
+	}
+}
+
+func TestStripedDegenerateUniverse(t *testing.T) {
+	s := NewStriped(5, 5, 8) // zero-width universe
+	s.Insert(geom.Record{Rect: geom.NewRect(5, 0, 5, 10), ID: 1})
+	var hits int
+	s.QueryExpire(geom.Record{Rect: geom.NewRect(5, 5, 5, 6), ID: 2}, func(geom.Record) { hits++ })
+	if hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestStructureReset(t *testing.T) {
+	for name, mk := range structures(geom.NewRect(0, 0, 10, 10)) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			s.Insert(geom.Record{Rect: geom.NewRect(0, 0, 1, 1), ID: 1})
+			s.QueryExpire(geom.Record{Rect: geom.NewRect(0, 0, 2, 2), ID: 2}, func(geom.Record) {})
+			s.Reset()
+			if s.Len() != 0 || s.Comparisons() != 0 {
+				t.Fatalf("reset left len=%d cmps=%d", s.Len(), s.Comparisons())
+			}
+			var hits int
+			s.QueryExpire(geom.Record{Rect: geom.NewRect(0, 0, 2, 2), ID: 3}, func(geom.Record) { hits++ })
+			if hits != 0 {
+				t.Fatal("reset structure still reports entries")
+			}
+		})
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := genRects(rand.New(rand.NewSource(5)), 10, 10, 2, 0)
+	src := NewSliceSource(recs)
+	var n int
+	for {
+		_, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("drained %d of 10", n)
+	}
+	if _, ok, _ := src.Next(); ok {
+		t.Fatal("exhausted source should stay exhausted")
+	}
+}
+
+func TestStripedStringer(t *testing.T) {
+	s := NewStriped(0, 100, 4)
+	s.Insert(geom.Record{Rect: geom.NewRect(0, 0, 100, 1), ID: 1})
+	if got := fmt.Sprint(s); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestIdenticalRectanglesManyTies(t *testing.T) {
+	// Stress y-ties: many coincident rectangles on both sides.
+	var a, b []geom.Record
+	for i := 0; i < 40; i++ {
+		a = append(a, geom.Record{Rect: geom.NewRect(0, 0, 10, 10), ID: uint32(i)})
+		b = append(b, geom.Record{Rect: geom.NewRect(5, 5, 15, 15), ID: uint32(1000 + i)})
+	}
+	for name, mk := range structures(geom.NewRect(0, 0, 20, 20)) {
+		t.Run(name, func(t *testing.T) {
+			got, _ := collectJoin(t, a, b, mk)
+			if len(got) != 1600 {
+				t.Fatalf("got %d pairs, want 1600", len(got))
+			}
+		})
+	}
+}

@@ -1,0 +1,235 @@
+// Package tiger is the catalog of the six TIGER/Line 97 data sets used
+// in the paper's evaluation (Table 2), rebuilt synthetically at a
+// configurable scale. Each Spec carries the paper's reference numbers
+// (object counts, data and R-tree sizes, join output) so the benchmark
+// harness can print paper-vs-measured columns, and a geographic region
+// within a shared "US" universe so the nesting of the original extracts
+// (NJ inside the east coast, DISK1 inside DISK1-3 inside DISK1-6, ...)
+// is preserved.
+//
+// Scaling: object counts shrink by the scale factor; so must the
+// memory budgets (internal memory, ST's buffer pool), so every
+// "fits in memory / exceeds the buffer pool" relationship from the
+// paper carries over. Config.MemoryBytes and Config.BufferPoolBytes
+// apply exactly that scaling.
+package tiger
+
+import (
+	"fmt"
+	"math"
+
+	"unijoin/internal/datagen"
+	"unijoin/internal/geom"
+)
+
+// USUniverse is the synthetic continental universe all regions live in
+// (arbitrary units, roughly proportioned like the conterminous US).
+var USUniverse = geom.NewRect(0, 0, 10000, 5000)
+
+// Spec describes one data set: its region and the paper's published
+// numbers for it.
+type Spec struct {
+	Name   string
+	Region geom.Rect
+
+	// Reference values from Table 2 of the paper (objects and bytes).
+	PaperRoadObjects  int64
+	PaperHydroObjects int64
+	PaperOutputPairs  int64
+	PaperRoadMB       float64
+	PaperHydroMB      float64
+	PaperRoadRTreeMB  float64
+	PaperHydroRTreeMB float64
+
+	// ExtentCal is a per-region feature-extent multiplier, calibrated
+	// (at reference scale 0.002) so that the synthetic join output
+	// cardinality lands near the scaled Table 2 value. See Generate.
+	ExtentCal float64
+}
+
+// The six data sets of Table 2. Regions nest the way the original
+// extracts do: NJ and NY sit on the east coast inside DISK1, DISK1
+// is the eastern seaboard inside the eastern half (DISK1-3), DISK4-6
+// is the western half, and DISK1-6 is the whole universe.
+var (
+	NJ = Spec{
+		Name:              "NJ",
+		Region:            geom.NewRect(8600, 2700, 9000, 3100),
+		PaperRoadObjects:  414_442,
+		PaperHydroObjects: 50_853,
+		PaperOutputPairs:  130_756,
+		PaperRoadMB:       7.9,
+		PaperHydroMB:      1.0,
+		PaperRoadRTreeMB:  8.3,
+		PaperHydroRTreeMB: 1.1,
+		ExtentCal:         2.29,
+	}
+	NY = Spec{
+		Name:              "NY",
+		Region:            geom.NewRect(8300, 3000, 9200, 3700),
+		PaperRoadObjects:  870_412,
+		PaperHydroObjects: 156_567,
+		PaperOutputPairs:  421_110,
+		PaperRoadMB:       16.6,
+		PaperHydroMB:      3.0,
+		PaperRoadRTreeMB:  17.7,
+		PaperHydroRTreeMB: 3.3,
+		ExtentCal:         1.80,
+	}
+	Disk1 = Spec{
+		Name:              "DISK1",
+		Region:            geom.NewRect(7500, 1500, 10000, 4500),
+		PaperRoadObjects:  6_030_844,
+		PaperHydroObjects: 1_161_906,
+		PaperOutputPairs:  3_197_520,
+		PaperRoadMB:       115.0,
+		PaperHydroMB:      22.1,
+		PaperRoadRTreeMB:  122.8,
+		PaperHydroRTreeMB: 25.0,
+		ExtentCal:         0.39,
+	}
+	Disk46 = Spec{
+		Name:              "DISK4-6",
+		Region:            geom.NewRect(0, 0, 5000, 5000),
+		PaperRoadObjects:  11_888_474,
+		PaperHydroObjects: 3_446_094,
+		PaperOutputPairs:  8_554_133,
+		PaperRoadMB:       226.7,
+		PaperHydroMB:      65.7,
+		PaperRoadRTreeMB:  245.8,
+		PaperHydroRTreeMB: 74.6,
+		ExtentCal:         0.33,
+	}
+	Disk13 = Spec{
+		Name:              "DISK1-3",
+		Region:            geom.NewRect(5000, 0, 10000, 5000),
+		PaperRoadObjects:  17_199_848,
+		PaperHydroObjects: 3_967_649,
+		PaperOutputPairs:  9_378_642,
+		PaperRoadMB:       328.0,
+		PaperHydroMB:      75.6,
+		PaperRoadRTreeMB:  352.5,
+		PaperHydroRTreeMB: 85.5,
+		ExtentCal:         0.20,
+	}
+	Disk16 = Spec{
+		Name:              "DISK1-6",
+		Region:            USUniverse,
+		PaperRoadObjects:  29_088_173,
+		PaperHydroObjects: 7_413_353,
+		PaperOutputPairs:  17_938_533,
+		PaperRoadMB:       554.8,
+		PaperHydroMB:      141.4,
+		PaperRoadRTreeMB:  598.4,
+		PaperHydroRTreeMB: 160.2,
+		ExtentCal:         0.21,
+	}
+
+	// Specs lists all data sets in Table 2 order.
+	Specs = []Spec{NJ, NY, Disk1, Disk46, Disk13, Disk16}
+)
+
+// SpecByName returns the spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("tiger: unknown data set %q", name)
+}
+
+// Config controls generation scale and the correspondingly scaled
+// resource budgets.
+type Config struct {
+	// Scale shrinks the paper's object counts; 0.01 reproduces the
+	// experiments at 1/100 size. Must be in (0, 1].
+	Scale float64
+	// Seed makes generation deterministic; data sets at the same seed
+	// and scale are identical across runs.
+	Seed int64
+	// Clusters is the number of population clusters per data set
+	// region (default 40).
+	Clusters int
+}
+
+// DefaultConfig is the scale used by the benchmark harness.
+func DefaultConfig() Config { return Config{Scale: 0.01, Seed: 1997, Clusters: 40} }
+
+// referenceScale is the scale at which ExtentCal was calibrated.
+const referenceScale = 0.002
+
+// paperMemoryBytes is the internal memory the paper's machines had
+// free for the algorithms (at least 24 MB of the 64 MB installed).
+const paperMemoryBytes = 24 << 20
+
+// paperBufferPoolBytes is ST's buffer pool (22 MB of the 24).
+const paperBufferPoolBytes = 22 << 20
+
+// MemoryBytes returns the scaled internal-memory budget. A floor of
+// 128 KB keeps the sweep structures comfortably inside memory at tiny
+// test scales, preserving the paper's "structures always fit" regime.
+func (c Config) MemoryBytes() int {
+	b := int(float64(paperMemoryBytes) * c.Scale)
+	if b < 128<<10 {
+		b = 128 << 10
+	}
+	return b
+}
+
+// BufferPoolBytes returns the scaled ST buffer pool size (22/24 of the
+// memory floor at tiny scales).
+func (c Config) BufferPoolBytes() int {
+	b := int(float64(paperBufferPoolBytes) * c.Scale)
+	if b < 117<<10 {
+		b = 117 << 10
+	}
+	return b
+}
+
+// Counts returns the scaled object counts for a spec.
+func (c Config) Counts(s Spec) (roads, hydro int) {
+	roads = int(float64(s.PaperRoadObjects) * c.Scale)
+	hydro = int(float64(s.PaperHydroObjects) * c.Scale)
+	if roads < 1 {
+		roads = 1
+	}
+	if hydro < 1 {
+		hydro = 1
+	}
+	return roads, hydro
+}
+
+// Generate produces the road and hydro relations for a spec. The
+// terrain seed depends only on the config seed and the spec name, so
+// repeated calls are identical.
+//
+// Feature extents are calibrated per region and grow as 1/sqrt(scale):
+// object counts shrink linearly with scale while pair counts shrink
+// with density squared, so extents must widen for the output
+// cardinality to stay proportional to the scaled Table 2 value.
+func (c Config) Generate(s Spec) (roads, hydro []geom.Record) {
+	if c.Scale <= 0 || c.Scale > 1 {
+		panic(fmt.Sprintf("tiger: scale %g out of (0,1]", c.Scale))
+	}
+	clusters := c.Clusters
+	if clusters == 0 {
+		clusters = 40
+	}
+	terrain := datagen.NewTerrain(c.Seed^hashName(s.Name), s.Region, clusters)
+	nr, nh := c.Counts(s)
+	m := s.ExtentCal * math.Sqrt(referenceScale/c.Scale)
+	roads = datagen.Roads(terrain, c.Seed+1, nr, datagen.RoadParams{MeanLen: 0.004 * m})
+	hydro = datagen.Hydro(terrain, c.Seed+2, nh, datagen.HydroParams{MeanSize: 0.008 * m})
+	return roads, hydro
+}
+
+// hashName folds a data set name into a seed offset.
+func hashName(name string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

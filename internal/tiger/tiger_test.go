@@ -1,0 +1,166 @@
+package tiger
+
+import (
+	"sort"
+	"testing"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/sweep"
+)
+
+func TestSpecTable2Transcription(t *testing.T) {
+	if len(Specs) != 6 {
+		t.Fatalf("expected 6 data sets, got %d", len(Specs))
+	}
+	// Spot checks against Table 2.
+	if NJ.PaperRoadObjects != 414_442 || NJ.PaperOutputPairs != 130_756 {
+		t.Fatal("NJ numbers wrong")
+	}
+	if Disk16.PaperRoadObjects != 29_088_173 || Disk16.PaperHydroObjects != 7_413_353 {
+		t.Fatal("DISK1-6 numbers wrong")
+	}
+	// Monotone growth across the catalog.
+	for i := 1; i < len(Specs); i++ {
+		if Specs[i].PaperRoadObjects <= Specs[i-1].PaperRoadObjects {
+			t.Fatalf("catalog not ordered by size at %s", Specs[i].Name)
+		}
+	}
+}
+
+func TestRegionsNest(t *testing.T) {
+	if !USUniverse.Contains(NJ.Region) || !USUniverse.Contains(Disk46.Region) {
+		t.Fatal("regions must lie inside the universe")
+	}
+	if !Disk1.Region.Contains(NJ.Region) {
+		t.Fatal("NJ must lie inside DISK1")
+	}
+	if !Disk13.Region.Contains(Disk1.Region) {
+		t.Fatal("DISK1 must lie inside DISK1-3")
+	}
+	if Disk13.Region.Intersects(Disk46.Region) {
+		// They share only the dividing line.
+		in, _ := Disk13.Region.Intersection(Disk46.Region)
+		if in.Area() != 0 {
+			t.Fatal("eastern and western halves must not overlap")
+		}
+	}
+	if Disk16.Region != USUniverse {
+		t.Fatal("DISK1-6 must cover the universe")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("DISK4-6")
+	if err != nil || s.Name != "DISK4-6" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestCountsScale(t *testing.T) {
+	cfg := Config{Scale: 0.001, Seed: 1}
+	r, h := cfg.Counts(NY)
+	if r != 870 || h != 156 {
+		t.Fatalf("NY at 1/1000: %d roads, %d hydro", r, h)
+	}
+	tiny := Config{Scale: 0.0000001, Seed: 1}
+	r, h = tiny.Counts(NJ)
+	if r < 1 || h < 1 {
+		t.Fatal("counts must be at least 1")
+	}
+}
+
+func TestBudgetsScale(t *testing.T) {
+	cfg := Config{Scale: 0.01, Seed: 1}
+	if cfg.MemoryBytes() != int(float64(24<<20)*cfg.Scale) {
+		t.Fatalf("memory = %d", cfg.MemoryBytes())
+	}
+	if cfg.BufferPoolBytes() != int(float64(22<<20)*cfg.Scale) {
+		t.Fatalf("pool = %d", cfg.BufferPoolBytes())
+	}
+	small := Config{Scale: 0.0001, Seed: 1}
+	if small.MemoryBytes() < 128<<10 || small.BufferPoolBytes() < 117<<10 {
+		t.Fatal("budgets must respect floors")
+	}
+}
+
+func TestGenerateDeterministicAndInRegion(t *testing.T) {
+	cfg := Config{Scale: 0.001, Seed: 42, Clusters: 20}
+	r1, h1 := cfg.Generate(NJ)
+	r2, h2 := cfg.Generate(NJ)
+	if len(r1) != len(r2) || len(h1) != len(h2) {
+		t.Fatal("nondeterministic counts")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("nondeterministic roads")
+		}
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("nondeterministic hydro")
+		}
+	}
+	// Features start inside the region (extents may poke slightly out).
+	for _, r := range r1 {
+		if !NJ.Region.ContainsPoint(geom.Point{X: r.Rect.XLo, Y: r.Rect.YLo}) {
+			t.Fatalf("road anchored outside region: %v", r.Rect)
+		}
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for scale 0")
+		}
+	}()
+	(Config{Scale: 0, Seed: 1}).Generate(NJ)
+}
+
+func TestOutputCardinalityNearTable2(t *testing.T) {
+	// The generator is calibrated so each data set's join output lands
+	// within a factor of 2 of the scaled Table 2 value; that keeps
+	// every experiment's CPU/IO balance paper-shaped.
+	if testing.Short() {
+		t.Skip("calibration check is slow")
+	}
+	cfg := Config{Scale: 0.002, Seed: 1997, Clusters: 40}
+	for _, s := range []Spec{NJ, NY, Disk1} {
+		roads, hydro := cfg.Generate(s)
+		sort.Slice(roads, func(i, j int) bool { return geom.ByLowerY(roads[i], roads[j]) < 0 })
+		sort.Slice(hydro, func(i, j int) bool { return geom.ByLowerY(hydro[i], hydro[j]) < 0 })
+		var pairs float64
+		_, err := sweep.JoinSlices(roads, hydro, func() sweep.Structure {
+			return sweep.NewStripedFor(s.Region, sweep.DefaultStrips)
+		}, func(_, _ geom.Record) { pairs++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(s.PaperOutputPairs) * cfg.Scale
+		if pairs < want/2 || pairs > want*2 {
+			t.Errorf("%s: %v pairs, want within 2x of %v", s.Name, pairs, want)
+		}
+	}
+}
+
+func TestSquareRootRuleHolds(t *testing.T) {
+	// Table 3's premise: the sweep structure stays tiny relative to the
+	// data set (square-root rule of Gueting and Schilling).
+	cfg := Config{Scale: 0.002, Seed: 1997, Clusters: 40}
+	roads, hydro := cfg.Generate(NY)
+	sort.Slice(roads, func(i, j int) bool { return geom.ByLowerY(roads[i], roads[j]) < 0 })
+	sort.Slice(hydro, func(i, j int) bool { return geom.ByLowerY(hydro[i], hydro[j]) < 0 })
+	stats, err := sweep.JoinSlices(roads, hydro, func() sweep.Structure {
+		return sweep.NewStripedFor(NY.Region, sweep.DefaultStrips)
+	}, func(_, _ geom.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(roads) + len(hydro)
+	if stats.MaxLen > n/2 {
+		t.Fatalf("sweep structure reached %d of %d records", stats.MaxLen, n)
+	}
+}

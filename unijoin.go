@@ -1,0 +1,371 @@
+// Package unijoin is a Go reproduction of "A Unified Approach for
+// Indexed and Non-Indexed Spatial Joins" (Arge, Procopiuc, Ramaswamy,
+// Suel, Vahrenhold, Vitter — EDBT 2000).
+//
+// The library computes the filter step of spatial overlay joins —
+// all pairs of intersecting minimal bounding rectangles (MBRs) between
+// two relations — with the four algorithms the paper studies:
+//
+//   - AlgSSSJ: sort both inputs by lower y and plane-sweep (the
+//     Scalable Sweeping-based Spatial Join of Arge et al.).
+//   - AlgPBSM: Patel and DeWitt's Partition-Based Spatial Merge join.
+//   - AlgST: Brinkhoff, Kriegel and Seeger's synchronized R-tree
+//     traversal over two indexes.
+//   - AlgPQ: the paper's unified Priority-Queue-driven join, which
+//     accepts any mix of indexed and non-indexed inputs, extends to
+//     multi-way joins, and degenerates to SSSJ on non-indexed inputs.
+//
+// Everything runs over a simulated disk (Workspace) that counts
+// sequential and random page accesses separately, so the library also
+// reproduces the paper's experimental apparatus: per-machine simulated
+// running times (Machine1..Machine3 from Table 1), the page-request
+// accounting of Table 4, the memory profiles of Table 3, and the
+// cost-model planner of Section 6.3 that picks between the index and
+// sort paths.
+//
+// Quick start:
+//
+//	ws := unijoin.NewWorkspace()
+//	roads, _ := ws.AddRelation(roadRecords)
+//	hydro, _ := ws.AddRelation(hydroRecords)
+//	_ = roads.BuildIndex()
+//	res, _ := ws.Join(unijoin.AlgPQ, roads, hydro, nil)
+//	fmt.Println(res.Pairs, "intersecting pairs")
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package unijoin
+
+import (
+	"fmt"
+
+	"unijoin/internal/core"
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+	"unijoin/internal/rtree"
+	"unijoin/internal/stream"
+)
+
+// Geometry and record types, re-exported from the geometry layer.
+type (
+	// Coord is the coordinate type (float32, as in the paper's 20-byte
+	// records).
+	Coord = geom.Coord
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Rect is an axis-parallel rectangle (an MBR).
+	Rect = geom.Rect
+	// Record is one spatial object: MBR plus object ID.
+	Record = geom.Record
+	// Pair is one join result: the two intersecting objects' IDs.
+	Pair = geom.Pair
+	// ID identifies an object within a relation.
+	ID = geom.ID
+)
+
+// NewRect builds a normalized rectangle from two corners.
+func NewRect(x1, y1, x2, y2 Coord) Rect { return geom.NewRect(x1, y1, x2, y2) }
+
+// Machine is a simulated hardware platform (CPU clock plus disk model).
+type Machine = iosim.Machine
+
+// The three platforms of Table 1.
+var (
+	Machine1 = iosim.Machine1 // SUN Sparc 20: slow CPU, fast disk
+	Machine2 = iosim.Machine2 // SUN Ultra 10: fast CPU, slow-access disk
+	Machine3 = iosim.Machine3 // DEC Alpha 500: fast CPU, fast disk
+	Machines = iosim.Machines
+)
+
+// Algorithm selects a join strategy.
+type Algorithm int
+
+const (
+	// AlgPQ is the paper's unified priority-queue join (works with any
+	// mix of indexed and non-indexed relations).
+	AlgPQ Algorithm = iota
+	// AlgSSSJ is the sort-and-sweep join (non-indexed inputs).
+	AlgSSSJ
+	// AlgPBSM is the partition-based spatial merge join (non-indexed
+	// inputs).
+	AlgPBSM
+	// AlgST is the synchronized R-tree traversal (both inputs must be
+	// indexed).
+	AlgST
+	// AlgAuto plans with the Section 6.3 cost model: each side's index
+	// is used only when the estimated fraction of leaves touched is
+	// below the machine's random-vs-sequential break-even point.
+	AlgAuto
+	// AlgBFRJ is the breadth-first R-tree join of Huang, Jing and
+	// Rundensteiner, the near-I/O-optimal index join the paper cites
+	// alongside ST (both inputs must be indexed).
+	AlgBFRJ
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgPQ:
+		return "PQ"
+	case AlgSSSJ:
+		return "SSSJ"
+	case AlgPBSM:
+		return "PBSM"
+	case AlgST:
+		return "ST"
+	case AlgAuto:
+		return "auto"
+	case AlgBFRJ:
+		return "BFRJ"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Workspace is a simulated disk holding relations and indexes. All
+// I/O performed by joins is counted on it; Counters and per-machine
+// cost reports are derived from those counts.
+type Workspace struct {
+	store    *iosim.Store
+	universe Rect
+	haveUniv bool
+}
+
+// NewWorkspace creates a workspace with the paper's 8 KB pages.
+func NewWorkspace() *Workspace {
+	return &Workspace{store: iosim.NewStore(iosim.DefaultPageSize)}
+}
+
+// SetUniverse fixes the workspace universe (the bounding region used
+// to size sweep strips, tiles, and Hilbert curves). If unset, it is
+// the union of all relations' MBRs at join time.
+func (w *Workspace) SetUniverse(u Rect) {
+	w.universe = u
+	w.haveUniv = true
+}
+
+// Store exposes the underlying simulated disk for advanced use
+// (counter snapshots, custom experiments).
+func (w *Workspace) Store() *iosim.Store { return w.store }
+
+// Relation is one spatial relation in a workspace: a record stream and
+// optionally a bulk-loaded R-tree over it.
+type Relation struct {
+	ws   *Workspace
+	name string
+	file *iosim.File
+	tree *rtree.Tree
+	mbr  Rect
+	n    int64
+}
+
+// AddRelation writes records to the workspace as a new non-indexed
+// relation.
+func (w *Workspace) AddRelation(recs []Record) (*Relation, error) {
+	return w.AddNamedRelation("", recs)
+}
+
+// AddNamedRelation is AddRelation with a label used in diagnostics.
+func (w *Workspace) AddNamedRelation(name string, recs []Record) (*Relation, error) {
+	f, err := stream.WriteAll(w.store, stream.Records, recs)
+	if err != nil {
+		return nil, err
+	}
+	mbr := geom.EmptyRect()
+	for _, r := range recs {
+		mbr = mbr.Union(r.Rect)
+	}
+	return &Relation{ws: w, name: name, file: f, mbr: mbr, n: int64(len(recs))}, nil
+}
+
+// Name returns the relation's label.
+func (r *Relation) Name() string { return r.name }
+
+// Len returns the number of records.
+func (r *Relation) Len() int64 { return r.n }
+
+// MBR returns the bounding rectangle of the relation (invalid for an
+// empty relation).
+func (r *Relation) MBR() Rect { return r.mbr }
+
+// Indexed reports whether BuildIndex has been called.
+func (r *Relation) Indexed() bool { return r.tree != nil }
+
+// DataBytes returns the size of the record stream on disk.
+func (r *Relation) DataBytes() int64 { return r.file.Size() }
+
+// IndexBytes returns the on-disk size of the R-tree (0 if not built).
+func (r *Relation) IndexBytes() int64 {
+	if r.tree == nil {
+		return 0
+	}
+	return r.tree.SizeBytes()
+}
+
+// IndexNodes returns the R-tree page count (0 if not built) — the
+// "lower bound" of Table 4.
+func (r *Relation) IndexNodes() int {
+	if r.tree == nil {
+		return 0
+	}
+	return r.tree.NumNodes()
+}
+
+// BuildIndex bulk-loads a packed R-tree over the relation with the
+// paper's configuration (Hilbert order, fanout 400, 75% fill with 20%
+// area slack). The sorting and node writes are charged to the
+// workspace's counters, as index construction is in Section 6.3's
+// discussion.
+func (r *Relation) BuildIndex() error {
+	return r.BuildIndexOptions(rtree.DefaultBuildOptions())
+}
+
+// BuildIndexOptions bulk-loads with explicit options (used by the
+// packing-policy ablation).
+func (r *Relation) BuildIndexOptions(opts rtree.BuildOptions) error {
+	t, err := rtree.Build(r.ws.store, r.file, r.ws.universeFor(r.mbr), opts)
+	if err != nil {
+		return err
+	}
+	r.tree = t
+	return nil
+}
+
+// universeFor resolves the workspace universe, defaulting to the
+// given fallback rectangle.
+func (w *Workspace) universeFor(fallback Rect) Rect {
+	if w.haveUniv {
+		return w.universe
+	}
+	if fallback.Valid() {
+		return fallback
+	}
+	return NewRect(0, 0, 1, 1)
+}
+
+// JoinOptions tunes a join; nil means defaults. Fields mirror the
+// paper's experimental knobs.
+type JoinOptions struct {
+	// MemoryBytes is the simulated internal memory (default 24 MB).
+	MemoryBytes int
+	// BufferPoolBytes is ST's LRU pool (default 22 MB).
+	BufferPoolBytes int
+	// Machine selects the platform for AlgAuto's cost model (default
+	// Machine3).
+	Machine Machine
+	// Window restricts the join to pairs intersecting this rectangle.
+	Window *Rect
+	// UseForwardSweep switches the sweep kernel to the Forward-Sweep
+	// structure (ablation).
+	UseForwardSweep bool
+	// PBSMTilesPerAxis overrides PBSM's tile resolution (default 128).
+	PBSMTilesPerAxis int
+	// Emit receives each result pair; nil counts only (the paper's
+	// accounting excludes output writing).
+	Emit func(Pair)
+}
+
+// JoinResult is the outcome of a join: pair count, I/O and memory
+// accounting, and per-machine cost reports.
+type JoinResult struct {
+	core.Result
+	// Decision is set for AlgAuto: what the planner chose and why.
+	Decision *core.Decision
+}
+
+// Join runs the selected algorithm on two relations. Requirements:
+// AlgST needs both relations indexed; AlgSSSJ/AlgPBSM ignore indexes;
+// AlgPQ uses an index when present; AlgAuto decides per side.
+func (w *Workspace) Join(alg Algorithm, a, b *Relation, opts *JoinOptions) (JoinResult, error) {
+	o, err := w.coreOptions(a, b, opts)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	switch alg {
+	case AlgSSSJ:
+		res, err := core.SSSJ(o, a.file, b.file)
+		return JoinResult{Result: res}, err
+	case AlgPBSM:
+		res, err := core.PBSM(o, a.file, b.file)
+		return JoinResult{Result: res}, err
+	case AlgST:
+		if a.tree == nil || b.tree == nil {
+			return JoinResult{}, fmt.Errorf("unijoin: ST requires both relations indexed")
+		}
+		res, err := core.ST(o, a.tree, b.tree)
+		return JoinResult{Result: res}, err
+	case AlgPQ:
+		res, err := core.PQ(o, a.input(), b.input())
+		return JoinResult{Result: res}, err
+	case AlgBFRJ:
+		if a.tree == nil || b.tree == nil {
+			return JoinResult{}, fmt.Errorf("unijoin: BFRJ requires both relations indexed")
+		}
+		res, err := core.BFRJ(o, a.tree, b.tree)
+		return JoinResult{Result: res}, err
+	case AlgAuto:
+		m := Machine3
+		if opts != nil && opts.Machine.Name != "" {
+			m = opts.Machine
+		}
+		p := core.Planner{Machine: m}
+		d, res, err := p.Join(o, a.input(), b.input())
+		return JoinResult{Result: res, Decision: &d}, err
+	default:
+		return JoinResult{}, fmt.Errorf("unijoin: unknown algorithm %v", alg)
+	}
+}
+
+// MultiwayJoin computes the k-way intersection join of the relations
+// (k >= 2) with the pipelined PQ strategy of Section 4. emit receives
+// the IDs of each result tuple in input order.
+func (w *Workspace) MultiwayJoin(rels []*Relation, opts *JoinOptions, emit func(ids []ID)) (core.MultiwayResult, error) {
+	if len(rels) < 2 {
+		return core.MultiwayResult{}, fmt.Errorf("unijoin: multiway join needs >= 2 relations")
+	}
+	o, err := w.coreOptions(rels[0], rels[1], opts)
+	if err != nil {
+		return core.MultiwayResult{}, err
+	}
+	mbr := geom.EmptyRect()
+	for _, r := range rels {
+		mbr = mbr.Union(r.mbr)
+	}
+	o.Universe = w.universeFor(mbr)
+	inputs := make([]core.Input, len(rels))
+	for i, r := range rels {
+		inputs[i] = r.input()
+	}
+	return core.MultiwayPQ(o, inputs, emit)
+}
+
+// Plan runs only the cost model, without executing the join.
+func (w *Workspace) Plan(m Machine, a, b *Relation, opts *JoinOptions) (core.Decision, error) {
+	o, err := w.coreOptions(a, b, opts)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	p := core.Planner{Machine: m}
+	return p.Plan(o, a.input(), b.input())
+}
+
+func (r *Relation) input() core.Input {
+	return core.Input{File: r.file, Tree: r.tree}
+}
+
+func (w *Workspace) coreOptions(a, b *Relation, opts *JoinOptions) (core.Options, error) {
+	if a == nil || b == nil {
+		return core.Options{}, fmt.Errorf("unijoin: nil relation")
+	}
+	u := w.universeFor(a.mbr.Union(b.mbr))
+	o := core.Options{Store: w.store, Universe: u}
+	if opts != nil {
+		o.MemoryBytes = opts.MemoryBytes
+		o.BufferPoolBytes = opts.BufferPoolBytes
+		o.UseForwardSweep = opts.UseForwardSweep
+		o.PBSMTilesPerAxis = opts.PBSMTilesPerAxis
+		o.Window = opts.Window
+		o.Emit = opts.Emit
+	}
+	return o, nil
+}
