@@ -13,9 +13,12 @@ package unijoin
 // recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"testing"
 
+	"unijoin/internal/datagen"
 	"unijoin/internal/experiments"
+	"unijoin/internal/parallel"
 	"unijoin/internal/rtree"
 	"unijoin/internal/tiger"
 )
@@ -169,6 +172,87 @@ func BenchmarkKernelSortedScan(b *testing.B) {
 		if int64(n) != env.RoadsTree.NumRecords() {
 			b.Fatalf("scanned %d of %d", n, env.RoadsTree.NumRecords())
 		}
+	}
+}
+
+// Wall-clock benchmarks of the parallel in-memory engine — the
+// non-simulated performance trajectory. Unlike everything above, these
+// numbers are real time on the host, so they are the ones that should
+// improve as the engine scales.
+
+// BenchmarkParallelJoin measures the partition-parallel sweep on the
+// 100k-record uniform workload against the serial sort-and-sweep
+// baseline. Every sub-benchmark asserts the pair count matches the
+// serial sweep exactly; on a multicore host the speedup at
+// parallelism-4 is the headline scaling number (run with
+// `go test -bench=ParallelJoin -cpu N` to pin GOMAXPROCS).
+func BenchmarkParallelJoin(b *testing.B) {
+	u := NewRect(0, 0, 100_000, 100_000)
+	ra := datagen.Uniform(1, 100_000, u, 40)
+	rb := datagen.Uniform(2, 100_000, u, 40)
+	o := parallel.Options{Universe: u}
+	base, err := parallel.Serial(ra, rb, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := parallel.Serial(ra, rb, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Pairs != base.Pairs {
+				b.Fatalf("serial pairs = %d, want %d", rep.Pairs, base.Pairs)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			po := o
+			po.Workers = workers
+			for i := 0; i < b.N; i++ {
+				rep, err := parallel.Join(ra, rb, po)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Pairs != base.Pairs {
+					b.Fatalf("parallelism-%d pairs = %d, want %d", workers, rep.Pairs, base.Pairs)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelJoinClustered is BenchmarkParallelJoin on the
+// TIGER-like clustered workload, where quantile stripe boundaries and
+// partition oversubscription carry the load balance.
+func BenchmarkParallelJoinClustered(b *testing.B) {
+	u := NewRect(0, 0, 100_000, 100_000)
+	terr := datagen.NewTerrain(1997, u, 40)
+	ra := datagen.Roads(terr, 1, 100_000, datagen.RoadParams{})
+	rb := datagen.Hydro(terr, 2, 60_000, datagen.HydroParams{})
+	o := parallel.Options{Universe: u}
+	base, err := parallel.Serial(ra, rb, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			po := o
+			po.Workers = workers
+			for i := 0; i < b.N; i++ {
+				rep, err := parallel.Join(ra, rb, po)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Pairs != base.Pairs {
+					b.Fatalf("pairs = %d, want %d", rep.Pairs, base.Pairs)
+				}
+			}
+		})
 	}
 }
 

@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	sjbench [-exp id[,id...]] [-scale f] [-sets NJ,NY,...] [-seed n]
+//	sjbench [-exp id[,id...]] [-scale f] [-sets NJ,NY,...] [-seed n] [-parallel N]
 //
 // With no -exp flag, every experiment runs in DESIGN.md order:
 // table1 table2 table3 table4 fig2 fig3 sel and the ablations. The
 // default scale (0.01) shrinks the paper's data sets 100x, with memory
 // budgets scaled to match, so the relative shapes of all results are
 // preserved while a full run completes in minutes.
+//
+// With -parallel N, only the wall-clock experiment runs: the
+// multicore in-memory engine (internal/parallel) is measured in real
+// time against the serial sweep, scaling the worker count up to N.
+// This is the non-simulated benchmark path; at the default scale the
+// uniform workload is the 100k-record set the benchmark trajectory
+// tracks.
 package main
 
 import (
@@ -25,11 +32,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs, " "))
-		scale = flag.Float64("scale", 0.01, "data scale relative to the paper's Table 2 sizes, in (0,1]")
-		sets  = flag.String("sets", "", "comma-separated data set names (default: all six)")
-		seed  = flag.Int64("seed", 1997, "generation seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs, " "))
+		scale    = flag.Float64("scale", 0.01, "data scale relative to the paper's Table 2 sizes, in (0,1]")
+		sets     = flag.String("sets", "", "comma-separated data set names (default: all six)")
+		seed     = flag.Int64("seed", 1997, "generation seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "run only the wall-clock parallel engine experiment, scaling to N workers")
 	)
 	flag.Parse()
 
@@ -45,6 +53,16 @@ func main() {
 	}
 	if *sets != "" {
 		cfg.Sets = strings.Split(*sets, ",")
+	}
+
+	if *parallel > 0 {
+		tab, err := experiments.Wallclock(cfg, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: wallclock: %v\n", err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		return
 	}
 
 	ids := experiments.IDs

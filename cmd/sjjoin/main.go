@@ -6,9 +6,11 @@
 //
 //	sjjoin -a ny.roads.bin -b ny.hydro.bin -alg PQ [-index a,b] [-out pairs.bin]
 //
-// Algorithms: PQ (default), SSSJ, PBSM, ST, auto. ST requires
-// "-index a,b". With -out, the resulting ID pairs are written as
-// 8-byte little-endian records.
+// Algorithms: PQ (default), SSSJ, PBSM, ST, auto, parallel. ST
+// requires "-index a,b"; parallel is the multicore in-memory engine
+// (-workers sets its worker count) and reports wall-clock time rather
+// than meaningful simulated I/O. With -out, the resulting ID pairs
+// are written as 8-byte little-endian records.
 package main
 
 import (
@@ -23,11 +25,12 @@ import (
 
 func main() {
 	var (
-		aPath = flag.String("a", "", "left input file (20-byte MBR records)")
-		bPath = flag.String("b", "", "right input file")
-		alg   = flag.String("alg", "PQ", "algorithm: PQ SSSJ PBSM ST auto")
-		index = flag.String("index", "", "which sides to index: a, b, or a,b")
-		out   = flag.String("out", "", "optional output file for result ID pairs")
+		aPath   = flag.String("a", "", "left input file (20-byte MBR records)")
+		bPath   = flag.String("b", "", "right input file")
+		alg     = flag.String("alg", "PQ", "algorithm: PQ SSSJ PBSM ST auto parallel")
+		index   = flag.String("index", "", "which sides to index: a, b, or a,b")
+		out     = flag.String("out", "", "optional output file for result ID pairs")
+		workers = flag.Int("workers", 0, "worker count for -alg parallel (default GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *aPath == "" || *bPath == "" {
@@ -89,7 +92,7 @@ func main() {
 		}
 	}
 
-	res, err := ws.Join(algorithm, a, b, &unijoin.JoinOptions{Emit: emit})
+	res, err := ws.Join(algorithm, a, b, &unijoin.JoinOptions{Emit: emit, Parallelism: *workers})
 	if err != nil {
 		fail(err)
 	}
@@ -128,6 +131,8 @@ func parseAlg(s string) (unijoin.Algorithm, error) {
 		return unijoin.AlgST, nil
 	case "AUTO":
 		return unijoin.AlgAuto, nil
+	case "PARALLEL":
+		return unijoin.AlgParallel, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
 	}

@@ -1,0 +1,3 @@
+module unijoin
+
+go 1.24

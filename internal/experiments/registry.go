@@ -14,6 +14,7 @@ var IDs = []string{
 	"table1", "table2", "table3", "table4", "fig2", "fig3", "sel",
 	"oneindex", "bfrj",
 	"abl-sweep", "abl-pool", "abl-pack", "abl-tiles", "abl-leafstream", "abl-layout",
+	"wallclock",
 }
 
 // Run executes one experiment by id and prints its table to w.
@@ -59,6 +60,8 @@ func RunTable(id string, cfg Config) (*Table, error) {
 		return AblationPQLeafStreaming(cfg, selSet(cfg))
 	case "abl-layout":
 		return AblationLayout(cfg, selSet(cfg))
+	case "wallclock":
+		return Wallclock(cfg, 0) // 0: scale to GOMAXPROCS
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs)
 	}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"unijoin/internal/datagen"
+	"unijoin/internal/geom"
+	"unijoin/internal/parallel"
+)
+
+// wallclockRepeats is how many times each configuration is run; the
+// fastest run is reported, the usual way to suppress scheduler noise
+// in wall-clock microbenchmarks.
+const wallclockRepeats = 3
+
+// wallclockWorkloads builds the in-memory record sets the wall-clock
+// experiment joins, sized by the configured scale: at sjbench's
+// default 0.01 the uniform workload is the 100k-record set the
+// benchmark trajectory tracks, and the TIGER-like workload matches the
+// clustered shape of the paper's data.
+func wallclockWorkloads(cfg Config) []struct {
+	Name     string
+	Universe geom.Rect
+	A, B     []geom.Record
+} {
+	n := int(10_000_000 * cfg.Tiger.Scale)
+	if n < 2000 {
+		n = 2000
+	}
+	u := geom.NewRect(0, 0, 100_000, 100_000)
+	terr := datagen.NewTerrain(cfg.Tiger.Seed, u, cfg.Tiger.Clusters)
+	return []struct {
+		Name     string
+		Universe geom.Rect
+		A, B     []geom.Record
+	}{
+		{
+			Name:     "uniform",
+			Universe: u,
+			A:        datagen.Uniform(cfg.Tiger.Seed, n, u, 40),
+			B:        datagen.Uniform(cfg.Tiger.Seed+1, n, u, 40),
+		},
+		{
+			Name:     "tiger-like",
+			Universe: u,
+			A:        datagen.Roads(terr, cfg.Tiger.Seed+2, n, datagen.RoadParams{}),
+			B:        datagen.Hydro(terr, cfg.Tiger.Seed+3, n*3/5, datagen.HydroParams{}),
+		},
+	}
+}
+
+// bestOf runs one join configuration wallclockRepeats times and keeps
+// the fastest report, the same selection policy for the serial
+// baseline and every parallel row.
+func bestOf(join func(a, b []geom.Record, o parallel.Options) (parallel.Report, error),
+	a, b []geom.Record, o parallel.Options) (parallel.Report, error) {
+	var best parallel.Report
+	for i := 0; i < wallclockRepeats; i++ {
+		rep, err := join(a, b, o)
+		if err != nil {
+			return parallel.Report{}, err
+		}
+		if i == 0 || rep.Wall < best.Wall {
+			best = rep
+		}
+	}
+	return best, nil
+}
+
+// Wallclock measures the parallel in-memory engine in real time — the
+// benchmark path that is not simulated: a serial sort-and-sweep
+// baseline, then the partition-parallel engine at 1, 2, 4, ...
+// workers up to maxWorkers, on a uniform and a TIGER-like workload.
+// Speedups are relative to the serial baseline of the same workload;
+// pair counts are cross-checked against it.
+func Wallclock(cfg Config, maxWorkers int) (*Table, error) {
+	if maxWorkers < 1 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	t := &Table{
+		ID: "wallclock",
+		Title: fmt.Sprintf("Parallel in-memory engine, wall-clock (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Header: []string{"Workload", "Records", "Mode", "Workers", "Parts",
+			"Wall ms", "Sweep ms", "Pairs", "Repl", "Speedup"},
+	}
+	for _, wl := range wallclockWorkloads(cfg) {
+		o := parallel.Options{Universe: wl.Universe}
+		serial, err := bestOf(parallel.Serial, wl.A, wl.B, o)
+		if err != nil {
+			return nil, err
+		}
+		recs := fmt.Sprintf("%d+%d", len(wl.A), len(wl.B))
+		t.AddRow(wl.Name, recs, "serial", "1", "1",
+			ms(serial.Wall), ms(serial.SweepWall),
+			fmt.Sprintf("%d", serial.Pairs), "1.000", "1.00")
+		for _, workers := range workerLadder(maxWorkers) {
+			o.Workers = workers
+			rep, err := bestOf(parallel.Join, wl.A, wl.B, o)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Pairs != serial.Pairs {
+				return nil, fmt.Errorf("experiments: wallclock %s: parallel %d pairs, serial %d",
+					wl.Name, rep.Pairs, serial.Pairs)
+			}
+			t.AddRow(wl.Name, recs, "parallel",
+				fmt.Sprintf("%d", rep.Workers),
+				fmt.Sprintf("%d", rep.Partitions),
+				ms(rep.Wall), ms(rep.SweepWall),
+				fmt.Sprintf("%d", rep.Pairs),
+				fmt.Sprintf("%.3f", rep.Replication),
+				fmt.Sprintf("%.2f", rep.Speedup(serial)))
+		}
+	}
+	t.AddNote("best of %d runs; speedup is serial wall / parallel wall on this host", wallclockRepeats)
+	t.AddNote("pair counts cross-checked against the serial sweep on every row")
+	return t, nil
+}
+
+// workerLadder returns the worker counts to measure: powers of two up
+// to max, always ending at max itself.
+func workerLadder(max int) []int {
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}

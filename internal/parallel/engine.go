@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/sweep"
+)
+
+// Join computes all intersecting pairs between a and b on a worker
+// pool, reporting wall-clock statistics. The inputs need not be
+// sorted and are not modified; each result pair is produced exactly
+// once (left component from a), regardless of how many stripes the
+// pair's rectangles were replicated into.
+func Join(a, b []geom.Record, o Options) (Report, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	start := time.Now()
+	rep := Report{Workers: o.Workers}
+
+	a = filterWindow(a, o.Window)
+	b = filterWindow(b, o.Window)
+	rep.InputRecords = int64(len(a) + len(b))
+
+	part := NewPartitioner(o.Universe, o.Partitions, a, b)
+	k := part.Partitions()
+	rep.Partitions = k
+	if o.Workers > k {
+		rep.Workers = k
+	}
+	bucketsA := make([][]geom.Record, k)
+	bucketsB := make([][]geom.Record, k)
+	rep.ReplicatedRecords = part.Distribute(a, bucketsA) + part.Distribute(b, bucketsB)
+	if rep.InputRecords > 0 {
+		rep.Replication = float64(rep.ReplicatedRecords) / float64(rep.InputRecords)
+	}
+	for i := 0; i < k; i++ {
+		if n := len(bucketsA[i]) + len(bucketsB[i]); n > rep.MaxPartitionRecords {
+			rep.MaxPartitionRecords = n
+		}
+	}
+	rep.PartitionWall = time.Since(start)
+
+	// The parallel phase. Workers drain partitions dynamically via the
+	// shared counter; every per-partition and per-worker slot is owned
+	// by exactly one goroutine, so the collection needs no locks.
+	collect := o.Emit != nil
+	buffers := make([][]geom.Pair, k)
+	partStats := make([]sweep.Stats, k)
+	rep.PerWorker = make([]WorkerStats, rep.Workers)
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make(chan error, rep.Workers)
+
+	sweepStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < rep.Workers; w++ {
+		wg.Add(1)
+		go func(ws *WorkerStats) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				t0 := time.Now()
+				pairs, err := sweepPartition(part, i, bucketsA[i], bucketsB[i], o,
+					&partStats[i], &buffers[i], collect)
+				if err != nil {
+					failed.Store(true)
+					errs <- err
+					return
+				}
+				ws.Partitions++
+				ws.Records += int64(len(bucketsA[i]) + len(bucketsB[i]))
+				ws.Pairs += pairs
+				ws.Busy += time.Since(t0)
+			}
+		}(&rep.PerWorker[w])
+	}
+	wg.Wait()
+	rep.SweepWall = time.Since(sweepStart)
+	select {
+	case err := <-errs:
+		return Report{}, err
+	default:
+	}
+
+	for _, ws := range rep.PerWorker {
+		rep.Pairs += ws.Pairs
+	}
+	for _, st := range partStats {
+		rep.Sweep.Pairs += st.Pairs
+		rep.Sweep.Comparisons += st.Comparisons
+		if st.MaxLen > rep.Sweep.MaxLen {
+			rep.Sweep.MaxLen = st.MaxLen
+		}
+		if st.MaxBytes > rep.Sweep.MaxBytes {
+			rep.Sweep.MaxBytes = st.MaxBytes
+		}
+	}
+	if collect {
+		for _, buf := range buffers {
+			for _, p := range buf {
+				o.Emit(p)
+			}
+		}
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// sweepPartition sorts one partition's buckets and sweeps them,
+// counting only the pairs this partition owns. It mutates the buckets
+// in place (they are private to the partition) and fills the
+// partition's stat and buffer slots.
+func sweepPartition(part *Partitioner, i int, ra, rb []geom.Record, o Options,
+	stats *sweep.Stats, buffer *[]geom.Pair, collect bool) (int64, error) {
+	sort.Slice(ra, func(x, y int) bool { return geom.ByLowerY(ra[x], ra[y]) < 0 })
+	sort.Slice(rb, func(x, y int) bool { return geom.ByLowerY(rb[x], rb[y]) < 0 })
+	stripe := part.Stripe(i)
+	ownLo, ownHi := part.OwnerRange(i)
+	var pairs int64
+	var buf []geom.Pair
+	st, err := sweep.Join(
+		sweep.NewSliceSource(ra), sweep.NewSliceSource(rb),
+		o.newStructure(stripe), o.newStructure(stripe),
+		func(x, y geom.Record) {
+			// Reference-point test: the pair belongs to the stripe
+			// containing the intersection's left edge.
+			ref := x.Rect.XLo
+			if y.Rect.XLo > ref {
+				ref = y.Rect.XLo
+			}
+			if ref < ownLo || ref >= ownHi {
+				return // this pair is owned by another stripe
+			}
+			pairs++
+			if collect {
+				buf = append(buf, geom.Pair{Left: x.ID, Right: y.ID})
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	*stats = st
+	if collect {
+		*buffer = buf
+	}
+	return pairs, nil
+}
+
+// Serial is the single-threaded wall-clock baseline: the same window
+// filtering, one sort of each side, and one plane sweep over the full
+// universe — SSSJ's kernel without the simulated disk. The inputs are
+// not modified; Emit (if set) is called in sweep order as pairs are
+// found.
+func Serial(a, b []geom.Record, o Options) (Report, error) {
+	if _, err := o.withDefaults(); err != nil {
+		return Report{}, err
+	}
+	start := time.Now()
+	rep := Report{Workers: 1, Partitions: 1, Replication: 1}
+
+	sa := append([]geom.Record(nil), filterWindow(a, o.Window)...)
+	sb := append([]geom.Record(nil), filterWindow(b, o.Window)...)
+	rep.InputRecords = int64(len(sa) + len(sb))
+	rep.ReplicatedRecords = rep.InputRecords
+	rep.MaxPartitionRecords = len(sa) + len(sb)
+	rep.PartitionWall = time.Since(start)
+
+	sweepStart := time.Now()
+	sort.Slice(sa, func(x, y int) bool { return geom.ByLowerY(sa[x], sa[y]) < 0 })
+	sort.Slice(sb, func(x, y int) bool { return geom.ByLowerY(sb[x], sb[y]) < 0 })
+	strips := o.Strips
+	if strips <= 0 {
+		strips = sweep.DefaultStrips
+	}
+	mk := func() sweep.Structure {
+		if o.UseForwardSweep {
+			return sweep.NewForward()
+		}
+		return sweep.NewStripedFor(o.Universe, strips)
+	}
+	st, sweepErr := sweep.Join(
+		sweep.NewSliceSource(sa), sweep.NewSliceSource(sb), mk(), mk(),
+		func(x, y geom.Record) {
+			rep.Pairs++
+			if o.Emit != nil {
+				o.Emit(geom.Pair{Left: x.ID, Right: y.ID})
+			}
+		})
+	if sweepErr != nil {
+		return Report{}, sweepErr
+	}
+	rep.Sweep = st
+	rep.SweepWall = time.Since(sweepStart)
+	rep.Wall = time.Since(start)
+	rep.PerWorker = []WorkerStats{{
+		Partitions: 1,
+		Records:    rep.InputRecords,
+		Pairs:      rep.Pairs,
+		Busy:       rep.SweepWall,
+	}}
+	return rep, nil
+}

@@ -1,0 +1,143 @@
+package parallel
+
+import (
+	"math"
+	"sort"
+
+	"unijoin/internal/geom"
+)
+
+// sampleMax bounds the per-input sample used to place stripe
+// boundaries. Quantiles of a few thousand centers locate the
+// population clusters of TIGER-like data closely enough to balance
+// partitions within a few percent.
+const sampleMax = 4096
+
+// Partitioner cuts the universe into K vertical stripes. Boundaries
+// are quantiles of sampled record x-centers, so skewed inputs still
+// produce balanced stripes; with no sample the stripes are equal
+// width. Stripe membership clamps: everything left of the first
+// boundary belongs to stripe 0 and everything right of the last to
+// stripe K-1, so records straying outside the universe stay correct.
+type Partitioner struct {
+	universe geom.Rect
+	// bounds holds the K-1 internal boundaries in nondecreasing
+	// order; stripe i covers [bounds[i-1], bounds[i]).
+	bounds []geom.Coord
+}
+
+// NewPartitioner builds a K-stripe partitioner over the universe,
+// placing boundaries at x-center quantiles of the given inputs.
+func NewPartitioner(universe geom.Rect, k int, inputs ...[]geom.Record) *Partitioner {
+	if k < 1 {
+		k = 1
+	}
+	p := &Partitioner{universe: universe}
+	if k == 1 {
+		return p
+	}
+	var sample []geom.Coord
+	for _, in := range inputs {
+		step := 1
+		if len(in) > sampleMax {
+			step = len(in) / sampleMax
+		}
+		for i := 0; i < len(in); i += step {
+			c := in[i].Rect
+			sample = append(sample, c.XLo+(c.XHi-c.XLo)/2)
+		}
+	}
+	if len(sample) < k {
+		// Too little data to estimate quantiles: equal-width stripes.
+		w := float64(universe.Width()) / float64(k)
+		if w <= 0 {
+			// Degenerate universe: one stripe holds everything.
+			return p
+		}
+		for i := 1; i < k; i++ {
+			p.bounds = append(p.bounds, universe.XLo+geom.Coord(float64(i)*w))
+		}
+		return p
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	for i := 1; i < k; i++ {
+		p.bounds = append(p.bounds, sample[i*len(sample)/k])
+	}
+	return p
+}
+
+// Partitions returns the stripe count K.
+func (p *Partitioner) Partitions() int { return len(p.bounds) + 1 }
+
+// Of returns the stripe owning x: the unique i with
+// bounds[i-1] <= x < bounds[i], clamped into [0, K-1].
+func (p *Partitioner) Of(x geom.Coord) int {
+	return sort.Search(len(p.bounds), func(i int) bool { return x < p.bounds[i] })
+}
+
+// Range returns the stripe indexes a record's x-interval overlaps.
+func (p *Partitioner) Range(r geom.Rect) (first, last int) {
+	return p.Of(r.XLo), p.Of(r.XHi)
+}
+
+// Owner returns the stripe that must report the pair (a, b): the one
+// containing the pair's reference point, the lower-x corner of the
+// intersection (max of the two left edges). Both rectangles overlap
+// that stripe, so the pair is guaranteed to meet there and nowhere
+// else is allowed to report it.
+func (p *Partitioner) Owner(a, b geom.Rect) int {
+	left := a.XLo
+	if b.XLo > left {
+		left = b.XLo
+	}
+	return p.Of(left)
+}
+
+// OwnerRange returns the half-open interval [lo, hi) of reference
+// points stripe i owns, with infinite sentinels on the boundary
+// stripes so the clamping of Of is preserved. The sweep emit path
+// tests pair ownership against these two values instead of paying a
+// binary search per candidate pair.
+func (p *Partitioner) OwnerRange(i int) (lo, hi geom.Coord) {
+	lo = geom.Coord(math.Inf(-1))
+	hi = geom.Coord(math.Inf(1))
+	if i > 0 {
+		lo = p.bounds[i-1]
+	}
+	if i < len(p.bounds) {
+		hi = p.bounds[i]
+	}
+	return lo, hi
+}
+
+// Stripe returns stripe i's rectangle: its x-slice of the universe
+// (full universe height). Boundary stripes extend to the universe
+// edges.
+func (p *Partitioner) Stripe(i int) geom.Rect {
+	lo, hi := p.universe.XLo, p.universe.XHi
+	if i > 0 {
+		lo = p.bounds[i-1]
+	}
+	if i < len(p.bounds) {
+		hi = p.bounds[i]
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return geom.Rect{XLo: lo, YLo: p.universe.YLo, XHi: hi, YHi: p.universe.YHi}
+}
+
+// Distribute appends every record to each stripe bucket its x-interval
+// overlaps and returns the number of placements (>= len(recs)).
+// buckets must have length Partitions().
+func (p *Partitioner) Distribute(recs []geom.Record, buckets [][]geom.Record) int64 {
+	var placed int64
+	for _, r := range recs {
+		first, last := p.Range(r.Rect)
+		for i := first; i <= last; i++ {
+			buckets[i] = append(buckets[i], r)
+		}
+		placed += int64(last - first + 1)
+	}
+	return placed
+}

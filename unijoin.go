@@ -32,8 +32,29 @@
 //	res, _ := ws.Join(unijoin.AlgPQ, roads, hydro, nil)
 //	fmt.Println(res.Pairs, "intersecting pairs")
 //
+// # Parallel in-memory execution
+//
+// Alongside the simulated-I/O algorithms, AlgParallel runs the filter
+// step on a multicore, in-memory engine (internal/parallel): the
+// universe is split into sample-balanced stripes, records are
+// replicated into every stripe they overlap, and a worker pool sweeps
+// the stripes concurrently with reference-point duplicate avoidance so
+// each pair is reported exactly once. Its results are measured in
+// wall-clock time rather than simulated page accesses — the
+// benchmarking path for real hardware:
+//
+//	res, _ := ws.ParallelJoin(roads, hydro, &unijoin.JoinOptions{Parallelism: 8})
+//	fmt.Println(res.Pairs, "pairs in", res.Parallel.Wall)
+//
+// ws.Join(unijoin.AlgParallel, ...) runs the same engine with
+// JoinOptions.Parallelism workers (default GOMAXPROCS) when only the
+// JoinResult is needed. See examples/parallel for the two paths side
+// by side, and `go run ./cmd/sjbench -parallel N` for the wall-clock
+// scaling table.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
-// paper-vs-measured record of every table and figure.
+// paper-vs-measured record of every table and figure plus the
+// wall-clock results of the parallel engine.
 package unijoin
 
 import (
@@ -42,6 +63,7 @@ import (
 	"unijoin/internal/core"
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
+	"unijoin/internal/parallel"
 	"unijoin/internal/rtree"
 	"unijoin/internal/stream"
 )
@@ -100,6 +122,10 @@ const (
 	// Rundensteiner, the near-I/O-optimal index join the paper cites
 	// alongside ST (both inputs must be indexed).
 	AlgBFRJ
+	// AlgParallel is the multicore in-memory engine: partition-parallel
+	// plane sweep with reference-point duplicate avoidance, measured in
+	// wall-clock time (JoinOptions.Parallelism sets the worker count).
+	AlgParallel
 )
 
 // String implements fmt.Stringer.
@@ -117,6 +143,8 @@ func (a Algorithm) String() string {
 		return "auto"
 	case AlgBFRJ:
 		return "BFRJ"
+	case AlgParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -260,8 +288,16 @@ type JoinOptions struct {
 	UseForwardSweep bool
 	// PBSMTilesPerAxis overrides PBSM's tile resolution (default 128).
 	PBSMTilesPerAxis int
+	// Parallelism is the worker count for AlgParallel/ParallelJoin
+	// (default GOMAXPROCS). Other algorithms ignore it.
+	Parallelism int
+	// ParallelPartitions overrides the parallel engine's stripe count
+	// (default: several stripes per worker for load balancing).
+	ParallelPartitions int
 	// Emit receives each result pair; nil counts only (the paper's
-	// accounting excludes output writing).
+	// accounting excludes output writing). AlgParallel calls Emit on
+	// the caller's goroutine in deterministic partition order after
+	// the concurrent phase, so the callback need not be thread-safe.
 	Emit func(Pair)
 }
 
@@ -311,9 +347,68 @@ func (w *Workspace) Join(alg Algorithm, a, b *Relation, opts *JoinOptions) (Join
 		p := core.Planner{Machine: m}
 		d, res, err := p.Join(o, a.input(), b.input())
 		return JoinResult{Result: res, Decision: &d}, err
+	case AlgParallel:
+		pr, err := w.ParallelJoin(a, b, opts)
+		return pr.JoinResult, err
 	default:
 		return JoinResult{}, fmt.Errorf("unijoin: unknown algorithm %v", alg)
 	}
+}
+
+// ParallelResult extends JoinResult with the parallel engine's
+// wall-clock report: partition/worker breakdown, replication factor,
+// and per-phase times.
+type ParallelResult struct {
+	JoinResult
+	// Parallel is the engine's full report (wall-clock phases,
+	// per-worker statistics, replication).
+	Parallel parallel.Report
+}
+
+// ParallelJoin runs the multicore in-memory engine on two relations:
+// both record streams are loaded from the workspace (the one read pass
+// is charged to the simulated-I/O counters like any other scan), then
+// partitioned into sample-balanced stripes and swept concurrently by
+// opts.Parallelism workers. The JoinResult mirrors the serial
+// algorithms' report — HostCPU is the engine's wall-clock time — and
+// the Parallel field carries the detailed scaling statistics. Indexes
+// are ignored; Window and Emit behave as in the serial joins.
+func (w *Workspace) ParallelJoin(a, b *Relation, opts *JoinOptions) (ParallelResult, error) {
+	if a == nil || b == nil {
+		return ParallelResult{}, fmt.Errorf("unijoin: nil relation")
+	}
+	po := parallel.Options{Universe: w.universeFor(a.mbr.Union(b.mbr))}
+	if opts != nil {
+		po.Workers = opts.Parallelism
+		po.Partitions = opts.ParallelPartitions
+		po.UseForwardSweep = opts.UseForwardSweep
+		po.Window = opts.Window
+		po.Emit = opts.Emit
+	}
+	before := w.store.Counters()
+	beforeDirect := w.store.DirectCounters()
+	recsA, err := stream.ReadAll(a.file, stream.Records)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	recsB, err := stream.ReadAll(b.file, stream.Records)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	rep, err := parallel.Join(recsA, recsB, po)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	res := core.Result{
+		Algorithm:     "parallel",
+		Pairs:         rep.Pairs,
+		Sweep:         rep.Sweep,
+		SweepMaxBytes: rep.Sweep.MaxBytes,
+		HostCPU:       rep.Wall,
+		IO:            w.store.Counters().Sub(before),
+		IODirect:      w.store.DirectCounters().Sub(beforeDirect),
+	}
+	return ParallelResult{JoinResult: JoinResult{Result: res}, Parallel: rep}, nil
 }
 
 // MultiwayJoin computes the k-way intersection join of the relations
