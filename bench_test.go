@@ -13,6 +13,7 @@ package unijoin
 // recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,7 +42,7 @@ func runExperiment(b *testing.B, id string) {
 	cfg := benchConfig(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.RunTable(id, cfg)
+		tab, err := experiments.RunTable(context.Background(), id, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkSelectiveCrossover(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Selective(cfg, "DISK1"); err != nil {
+		if _, err := experiments.Selective(context.Background(), cfg, "DISK1"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -100,7 +101,7 @@ func BenchmarkOneIndexStrategies(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.OneIndex(cfg, "DISK1"); err != nil {
+		if _, err := experiments.OneIndex(context.Background(), cfg, "DISK1"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +116,7 @@ func BenchmarkBFRJVsST(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.BFRJCompare(cfg, "DISK1"); err != nil {
+		if _, err := experiments.BFRJCompare(context.Background(), cfg, "DISK1"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,14 +192,14 @@ func BenchmarkParallelJoin(b *testing.B) {
 	ra := datagen.Uniform(1, 100_000, u, 40)
 	rb := datagen.Uniform(2, 100_000, u, 40)
 	o := parallel.Options{Universe: u}
-	base, err := parallel.Serial(ra, rb, o)
+	base, err := parallel.Serial(context.Background(), ra, rb, o)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("serial", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			rep, err := parallel.Serial(ra, rb, o)
+			rep, err := parallel.Serial(context.Background(), ra, rb, o)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -213,7 +214,7 @@ func BenchmarkParallelJoin(b *testing.B) {
 			po := o
 			po.Workers = workers
 			for i := 0; i < b.N; i++ {
-				rep, err := parallel.Join(ra, rb, po)
+				rep, err := parallel.Join(context.Background(), ra, rb, po)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -225,6 +226,47 @@ func BenchmarkParallelJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelJoinEmitModes compares the three result-delivery
+// modes on the parallel engine: counting only (no callback at all),
+// the per-pair Emit callback, and the pooled EmitBatch fast path that
+// amortizes the callback indirection over whole partition buffers.
+func BenchmarkParallelJoinEmitModes(b *testing.B) {
+	u := NewRect(0, 0, 100_000, 100_000)
+	ra := datagen.Uniform(1, 100_000, u, 40)
+	rb := datagen.Uniform(2, 100_000, u, 40)
+	base := parallel.Options{Universe: u, Workers: 2}
+	b.Run("count-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := parallel.Join(context.Background(), ra, rb, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("emit", func(b *testing.B) {
+		b.ReportAllocs()
+		o := base
+		var n int64
+		o.Emit = func(Pair) { n++ }
+		for i := 0; i < b.N; i++ {
+			if _, err := parallel.Join(context.Background(), ra, rb, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("emitbatch", func(b *testing.B) {
+		b.ReportAllocs()
+		o := base
+		var n int64
+		o.EmitBatch = func(ps []Pair) { n += int64(len(ps)) }
+		for i := 0; i < b.N; i++ {
+			if _, err := parallel.Join(context.Background(), ra, rb, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkParallelJoinClustered is BenchmarkParallelJoin on the
 // TIGER-like clustered workload, where quantile stripe boundaries and
 // partition oversubscription carry the load balance.
@@ -234,7 +276,7 @@ func BenchmarkParallelJoinClustered(b *testing.B) {
 	ra := datagen.Roads(terr, 1, 100_000, datagen.RoadParams{})
 	rb := datagen.Hydro(terr, 2, 60_000, datagen.HydroParams{})
 	o := parallel.Options{Universe: u}
-	base, err := parallel.Serial(ra, rb, o)
+	base, err := parallel.Serial(context.Background(), ra, rb, o)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -244,7 +286,7 @@ func BenchmarkParallelJoinClustered(b *testing.B) {
 			po := o
 			po.Workers = workers
 			for i := 0; i < b.N; i++ {
-				rep, err := parallel.Join(ra, rb, po)
+				rep, err := parallel.Join(context.Background(), ra, rb, po)
 				if err != nil {
 					b.Fatal(err)
 				}

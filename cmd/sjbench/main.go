@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	sjbench [-exp id[,id...]] [-scale f] [-sets NJ,NY,...] [-seed n] [-parallel N]
+//	sjbench [-exp id[,id...]] [-scale f] [-sets NJ,NY,...] [-seed n]
+//	        [-parallel N] [-timeout d] [-window x1,y1,x2,y2]
 //
 // With no -exp flag, every experiment runs in DESIGN.md order:
 // table1 table2 table3 table4 fig2 fig3 sel and the ablations. The
@@ -17,15 +18,26 @@
 // time against the serial sweep, scaling the worker count up to N.
 // This is the non-simulated benchmark path; at the default scale the
 // uniform workload is the 100k-record set the benchmark trajectory
-// tracks.
+// tracks. -window restricts the wall-clock joins to the given
+// rectangle (it has no effect on the paper-reproduction experiments,
+// whose tables are defined over the full data sets).
+//
+// Every experiment runs under a context: -timeout bounds the whole
+// invocation and Ctrl-C cancels it, so a runaway configuration can be
+// interrupted cleanly (exit status 2).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"unijoin"
 	"unijoin/internal/experiments"
 	"unijoin/internal/tiger"
 )
@@ -38,6 +50,8 @@ func main() {
 		seed     = flag.Int64("seed", 1997, "generation seed")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", 0, "run only the wall-clock parallel engine experiment, scaling to N workers")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		window   = flag.String("window", "", "restrict the wall-clock joins to this rectangle: x1,y1,x2,y2")
 	)
 	flag.Parse()
 
@@ -48,18 +62,33 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := experiments.Config{
 		Tiger: tiger.Config{Scale: *scale, Seed: *seed, Clusters: 40},
 	}
 	if *sets != "" {
 		cfg.Sets = strings.Split(*sets, ",")
 	}
+	if *window != "" {
+		r, err := unijoin.ParseRect(*window)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sjbench: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Window = &r
+	}
 
 	if *parallel > 0 {
-		tab, err := experiments.Wallclock(cfg, *parallel)
+		tab, err := experiments.Wallclock(ctx, cfg, *parallel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sjbench: wallclock: %v\n", err)
-			os.Exit(1)
+			exitErr("wallclock", err)
 		}
 		tab.Fprint(os.Stdout)
 		return
@@ -70,9 +99,19 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	for _, id := range ids {
-		if err := experiments.Run(strings.TrimSpace(id), cfg, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "sjbench: %s: %v\n", id, err)
-			os.Exit(1)
+		if err := experiments.Run(ctx, strings.TrimSpace(id), cfg, os.Stdout); err != nil {
+			exitErr(id, err)
 		}
 	}
+}
+
+// exitErr distinguishes cancellation (exit 2) from real failures.
+func exitErr(id string, err error) {
+	if errors.Is(err, unijoin.ErrCanceled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "sjbench: %s: interrupted: %v\n", id, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "sjbench: %s: %v\n", id, err)
+	os.Exit(1)
 }

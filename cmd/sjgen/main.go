@@ -17,9 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"unijoin"
 	"unijoin/internal/datagen"
 	"unijoin/internal/geom"
 	"unijoin/internal/tiger"
@@ -38,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	if *uniform > 0 {
-		r, err := parseRect(*region)
+		r, err := unijoin.ParseRect(*region)
 		if err != nil {
 			fail(err)
 		}
@@ -104,22 +103,6 @@ func writeRecords(path string, recs []geom.Record) error {
 
 func writeMeta(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
-}
-
-func parseRect(s string) (geom.Rect, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 4 {
-		return geom.Rect{}, fmt.Errorf("region needs 4 comma-separated numbers, got %q", s)
-	}
-	var v [4]float64
-	for i, p := range parts {
-		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return geom.Rect{}, fmt.Errorf("bad region component %q: %w", p, err)
-		}
-		v[i] = f
-	}
-	return geom.NewRect(geom.Coord(v[0]), geom.Coord(v[1]), geom.Coord(v[2]), geom.Coord(v[3])), nil
 }
 
 func fail(err error) {

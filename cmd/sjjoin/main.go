@@ -5,19 +5,30 @@
 // Usage:
 //
 //	sjjoin -a ny.roads.bin -b ny.hydro.bin -alg PQ [-index a,b] [-out pairs.bin]
+//	       [-window x1,y1,x2,y2] [-timeout 30s] [-workers N]
 //
 // Algorithms: PQ (default), SSSJ, PBSM, ST, auto, parallel. ST
 // requires "-index a,b"; parallel is the multicore in-memory engine
 // (-workers sets its worker count) and reports wall-clock time rather
 // than meaningful simulated I/O. With -out, the resulting ID pairs
 // are written as 8-byte little-endian records.
+//
+// The join runs under a context: -timeout bounds it, and Ctrl-C
+// (SIGINT/SIGTERM) cancels it mid-run — a canceled join exits with
+// status 2 after printing how it was interrupted. -window restricts
+// the join to pairs intersecting the given rectangle.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"unijoin"
 	"unijoin/internal/geom"
@@ -31,10 +42,22 @@ func main() {
 		index   = flag.String("index", "", "which sides to index: a, b, or a,b")
 		out     = flag.String("out", "", "optional output file for result ID pairs")
 		workers = flag.Int("workers", 0, "worker count for -alg parallel (default GOMAXPROCS)")
+		window  = flag.String("window", "", "restrict the join to this rectangle: x1,y1,x2,y2")
+		timeout = flag.Duration("timeout", 0, "abort the join after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *aPath == "" || *bPath == "" {
 		fail(fmt.Errorf("both -a and -b are required"))
+	}
+
+	// The context every phase of the join runs under: canceled by
+	// Ctrl-C, bounded by -timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	recsA, err := readRecords(*aPath)
@@ -75,31 +98,60 @@ func main() {
 		fail(err)
 	}
 
+	// Counting only unless -out asks for the pairs; either way the
+	// query never buffers the result set in memory.
+	q := ws.Query(a, b).
+		Algorithm(algorithm).
+		Parallelism(*workers).
+		CountOnly()
+	if *window != "" {
+		r, err := unijoin.ParseRect(*window)
+		if err != nil {
+			fail(err)
+		}
+		q.Window(r)
+	}
+
 	var outFile *os.File
-	var emit func(unijoin.Pair)
 	if *out != "" {
 		outFile, err = os.Create(*out)
 		if err != nil {
 			fail(err)
 		}
 		defer outFile.Close()
-		buf := make([]byte, geom.PairSize)
-		emit = func(p unijoin.Pair) {
-			geom.EncodePair(buf, p)
+		// Batched writes: one encode loop per batch instead of one
+		// callback per pair.
+		buf := make([]byte, 0, 1<<16)
+		q.EmitBatch(func(batch []unijoin.Pair) {
+			buf = buf[:0]
+			var rec [geom.PairSize]byte
+			for _, p := range batch {
+				geom.EncodePair(rec[:], p)
+				buf = append(buf, rec[:]...)
+			}
 			if _, err := outFile.Write(buf); err != nil {
 				fail(err)
 			}
-		}
+		})
 	}
 
-	res, err := ws.Join(algorithm, a, b, &unijoin.JoinOptions{Emit: emit, Parallelism: *workers})
+	start := time.Now()
+	res, err := q.Run(ctx)
+	if errors.Is(err, unijoin.ErrCanceled) {
+		why := "interrupted"
+		if errors.Is(err, context.DeadlineExceeded) {
+			why = fmt.Sprintf("timed out after %v", *timeout)
+		}
+		fmt.Fprintf(os.Stderr, "sjjoin: join %s (%v elapsed)\n", why, time.Since(start).Round(time.Millisecond))
+		os.Exit(2)
+	}
 	if err != nil {
 		fail(err)
 	}
 
 	fmt.Printf("algorithm:       %s\n", algorithm)
 	fmt.Printf("inputs:          %d x %d records\n", a.Len(), b.Len())
-	fmt.Printf("result pairs:    %d\n", res.Pairs)
+	fmt.Printf("result pairs:    %d\n", res.Count())
 	fmt.Printf("page accesses:   %d (%d seq reads, %d rand reads, %d writes)\n",
 		res.IO.Total(), res.IO.SeqReads, res.IO.RandReads, res.IO.Writes())
 	if res.PageRequests > 0 {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	universe := unijoin.NewRect(0, 0, 1000, 1000)
 	terrain := datagen.NewTerrain(5, universe, 25)
 
@@ -30,7 +32,7 @@ func main() {
 	}
 
 	for _, m := range unijoin.Machines {
-		d, err := ws.Plan(m, r, r, nil)
+		d, err := ws.Plan(ctx, m, r, r, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,12 +56,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := ws.Join(unijoin.AlgAuto, r, h, &unijoin.JoinOptions{Machine: unijoin.Machine1})
+		// AlgAuto plans with the cost model, then executes the chosen
+		// representations through the unified PQ join.
+		res, err := ws.Query(r, h).
+			Algorithm(unijoin.AlgAuto).
+			Machine(unijoin.Machine1).
+			CountOnly().
+			Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-22s %11.0f%% %10d %s\n",
-			h.Name(), res.Decision.FracA*100, res.Pairs, res.Decision)
+			h.Name(), res.Decision.FracA*100, res.Count(), res.Decision)
 	}
 	fmt.Println("\nThe planner reads the road index only while the hydro footprint is")
 	fmt.Println("local; once the join would touch most leaves, it sorts instead.")

@@ -1,11 +1,13 @@
 // Multiway: the Section 4 extension — a 3-way intersection join,
-// feeding the output of one PQ join directly into another.
+// feeding the output of one PQ join directly into another, run under a
+// context like every other query.
 //
 // Scenario: find every (road, water, wetland-zone) triple with a common
 // intersection — candidate bridge sites needing environmental review.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	universe := unijoin.NewRect(0, 0, 1000, 1000)
 	terrain := datagen.NewTerrain(3, universe, 15)
 
@@ -43,7 +46,7 @@ func main() {
 	}
 
 	var shown int
-	res, err := ws.MultiwayJoin([]*unijoin.Relation{r, h, z}, nil, func(ids []unijoin.ID) {
+	res, err := ws.MultiwayJoin(ctx, []*unijoin.Relation{r, h, z}, nil, func(ids []unijoin.ID) {
 		if shown < 5 {
 			fmt.Printf("  road %d x water %d x zone %d\n", ids[0], ids[1], ids[2])
 			shown++

@@ -1,6 +1,7 @@
 // Overlay: the paper's motivating GIS workload — join the road network
 // of a region against its hydrography to find every road/water
-// crossing, comparing all four algorithms on the same data.
+// crossing, comparing all four algorithms on the same data through the
+// Query API.
 //
 // This is the Figure 3 experiment in miniature: generate the synthetic
 // NY data set, build indexes, run SSSJ, PBSM, PQ, and ST, and report
@@ -8,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	universe := unijoin.NewRect(0, 0, 2000, 1400)
 	terrain := datagen.NewTerrain(7, universe, 30)
 	roads := datagen.Roads(terrain, 11, 40000, datagen.RoadParams{})
@@ -40,19 +43,21 @@ func main() {
 	fmt.Printf("roads: %d records, %d index pages; hydro: %d records, %d index pages\n\n",
 		r.Len(), r.IndexNodes(), h.Len(), h.IndexNodes())
 
-	opts := &unijoin.JoinOptions{
-		MemoryBytes:     1 << 20, // scale memory with the data
-		BufferPoolBytes: 900 << 10,
+	// The shared knobs, as one-shot functional options.
+	opts := []unijoin.Option{
+		unijoin.WithMemory(1 << 20), // scale memory with the data
+		unijoin.WithBufferPool(900 << 10),
+		unijoin.WithCountOnly(),
 	}
 	fmt.Printf("%-6s %10s %10s %12s %12s %12s\n",
 		"alg", "pairs", "pages", "machine1", "machine2", "machine3")
 	for _, alg := range []unijoin.Algorithm{unijoin.AlgSSSJ, unijoin.AlgPBSM, unijoin.AlgPQ, unijoin.AlgST} {
-		res, err := ws.Join(alg, r, h, opts)
+		res, err := ws.Query(r, h, opts...).Algorithm(alg).Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-6s %10d %10d %11.2fs %11.2fs %11.2fs\n",
-			alg, res.Pairs, res.IO.Total(),
+			alg, res.Count(), res.IO.Total(),
 			res.ObservedTotal(unijoin.Machine1).Seconds(),
 			res.ObservedTotal(unijoin.Machine2).Seconds(),
 			res.ObservedTotal(unijoin.Machine3).Seconds())

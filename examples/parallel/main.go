@@ -1,10 +1,12 @@
 // Parallel: the two performance paths of the library side by side on
 // one TIGER-like workload — the paper's simulated-I/O accounting
 // (SSSJ priced on the Table 1 machines) and the multicore in-memory
-// engine measured in wall-clock time on the real host.
+// engine measured in wall-clock time on the real host. Both run
+// through the same Query API; only the Algorithm differs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -14,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A clustered, TIGER-like workload: roads and hydro features
 	// sampling the same population terrain, as in the paper's data.
 	universe := unijoin.NewRect(0, 0, 100_000, 100_000)
@@ -34,11 +38,11 @@ func main() {
 
 	// Path 1: the paper's apparatus. The join runs over the simulated
 	// disk and is priced in simulated seconds on the Table 1 machines.
-	serial, err := ws.Join(unijoin.AlgSSSJ, a, b, nil)
+	serial, err := ws.Query(a, b).Algorithm(unijoin.AlgSSSJ).CountOnly().Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated-I/O path (SSSJ): %d pairs\n", serial.Pairs)
+	fmt.Printf("simulated-I/O path (SSSJ): %d pairs\n", serial.Count())
 	for _, m := range unijoin.Machines {
 		fmt.Printf("  %-26s total %v (simulated)\n", m.Name+":", serial.ObservedTotal(m).Round(1000))
 	}
@@ -55,12 +59,16 @@ func main() {
 	}
 	ladder = append(ladder, runtime.GOMAXPROCS(0))
 	for _, workers := range ladder {
-		res, err := ws.ParallelJoin(a, b, &unijoin.JoinOptions{Parallelism: workers})
+		res, err := ws.Query(a, b).
+			Algorithm(unijoin.AlgParallel).
+			Parallelism(workers).
+			CountOnly().
+			Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if res.Pairs != serial.Pairs {
-			log.Fatalf("parallel join disagrees with SSSJ: %d vs %d pairs", res.Pairs, serial.Pairs)
+		if res.Count() != serial.Count() {
+			log.Fatalf("parallel join disagrees with SSSJ: %d vs %d pairs", res.Count(), serial.Count())
 		}
 		p := res.Parallel
 		fmt.Printf("  workers=%-2d partitions=%-3d wall %8v  (partition %v, sweep %v, replication %.3f)\n",

@@ -1,8 +1,10 @@
 // Quickstart: load two small relations, index one, and run the unified
-// PQ join — the minimal end-to-end use of the library.
+// PQ join through the Query API — the minimal end-to-end use of the
+// library, including the range-over-func pair iterator.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A workspace is a simulated disk; all join I/O is counted on it.
 	ws := unijoin.NewWorkspace()
 	ws.SetUniverse(unijoin.NewRect(0, 0, 100, 100))
@@ -42,16 +46,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("parcel/zone overlaps:")
-	res, err := ws.Join(unijoin.AlgPQ, a, b, &unijoin.JoinOptions{
-		Emit: func(p unijoin.Pair) {
-			fmt.Printf("  parcel %d intersects zone %d\n", p.Left, p.Right)
-		},
-	})
+	// Run the query. With no Emit/EmitBatch callback the result pairs
+	// are collected, so res.Pairs() iterates them afterwards.
+	res, err := ws.Query(a, b).Algorithm(unijoin.AlgPQ).Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("total: %d pairs\n\n", res.Pairs)
+	fmt.Println("parcel/zone overlaps:")
+	for p := range res.Pairs() {
+		fmt.Printf("  parcel %d intersects zone %d\n", p.Left, p.Right)
+	}
+	fmt.Printf("total: %d pairs\n\n", res.Count())
 
 	// The same join priced on the paper's three machines.
 	for _, m := range unijoin.Machines {

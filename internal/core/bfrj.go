@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"slices"
 
 	"unijoin/internal/geom"
@@ -27,15 +27,16 @@ import (
 // The price is memory for the intermediate join index; its high-water
 // mark is reported in Result.ScannerMaxBytes (it plays the same
 // "algorithm working memory" role as PQ's priority queue).
-func BFRJ(opts Options, ta, tb *rtree.Tree) (Result, error) {
+func BFRJ(ctx context.Context, opts Options, ta, tb *rtree.Tree) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
 	if ta == nil || tb == nil {
-		return Result{}, fmt.Errorf("core: BFRJ requires two R-trees")
+		return Result{}, needsIndexErr("BFRJ")
 	}
-	return run(o, "BFRJ", func(res *Result) error {
+	return run(ctx, o, "BFRJ", func(o Options, res *Result) error {
 		pool := iosim.NewBufferPoolBytes(o.Store, o.BufferPoolBytes)
 		type pagePair struct{ a, b iosim.PageID }
 
@@ -70,11 +71,19 @@ func BFRJ(opts Options, ta, tb *rtree.Tree) (Result, error) {
 			})
 			var next []pagePair
 			for _, pp := range cur {
+				// Per-node-pair cancellation check, as in ST.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				if err := ta.ReadNode(pool, pp.a, &na); err != nil {
 					return err
 				}
 				if err := tb.ReadNode(pool, pp.b, &nb); err != nil {
 					return err
+				}
+				// Window pruning, as in ST.
+				if w := o.Window; w != nil && (!na.MBR().Intersects(*w) || !nb.MBR().Intersects(*w)) {
+					continue
 				}
 				// Height mismatch: expand only the taller side; the new
 				// pairs rejoin the frontier and converge.
@@ -99,6 +108,9 @@ func BFRJ(opts Options, ta, tb *rtree.Tree) (Result, error) {
 				matches := matchNodeEntries(&na, &nb, &scratch[na.Level], &pairsBuf)
 				if na.Leaf() {
 					for _, p := range matches {
+						if !pairInWindow(o.Window, p.a.Rect, p.b.Rect) {
+							continue
+						}
 						o.emitPair(&res.Pairs, geom.Record{Rect: p.a.Rect, ID: p.a.Ref},
 							geom.Record{Rect: p.b.Rect, ID: p.b.Ref})
 					}
@@ -115,6 +127,12 @@ func BFRJ(opts Options, ta, tb *rtree.Tree) (Result, error) {
 		res.ScannerMaxBytes = maxIJI
 		return nil
 	})
+}
+
+// pairInWindow applies the window semantics shared by every join
+// path: both records of a qualifying pair must intersect the window.
+func pairInWindow(w *geom.Rect, a, b geom.Rect) bool {
+	return w == nil || (a.Intersects(*w) && b.Intersects(*w))
 }
 
 // matchNodeEntries is the shared node-pair matching used by ST and

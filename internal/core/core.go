@@ -21,15 +21,24 @@
 // All joins compute the filter step: every pair of intersecting MBRs,
 // each exactly once, with the left component from the first input.
 // Following the paper's accounting, the cost of reporting (writing)
-// the output is excluded: results go to an optional Emit callback.
+// the output is excluded: results go to an optional Emit callback, or
+// to the batched EmitBatch callback that amortizes the per-pair
+// indirection over pooled pairbuf.BatchSize slices.
+//
+// Every algorithm takes a context.Context and polls it periodically —
+// between phases and inside the sweep, distribution, and traversal
+// loops — so a canceled or timed-out query returns ErrCanceled
+// promptly instead of running to completion.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
+	"unijoin/internal/pairbuf"
 	"unijoin/internal/rtree"
 	"unijoin/internal/stream"
 	"unijoin/internal/sweep"
@@ -90,8 +99,13 @@ type Options struct {
 	// the extra sort I/O honestly.
 	PBSMSortDedup bool
 
-	// Window restricts a PQ join to records intersecting this
-	// rectangle (both sides); used for the selective joins of §6.3.
+	// Window restricts the join to records intersecting this
+	// rectangle (both sides must intersect it for a pair to qualify);
+	// used for the selective joins of §6.3. Every algorithm honors
+	// it: PQ windows its scanners and sorted sources, SSSJ filters
+	// the sweep after the (unavoidable) full sort, PBSM filters at
+	// partitioning time, and ST/BFRJ prune subtrees and filter leaf
+	// matches.
 	Window *geom.Rect
 	// RestrictScanners makes PQ tree scanners skip subtrees that
 	// cannot intersect the other input's bounding rectangle — the
@@ -104,6 +118,13 @@ type Options struct {
 	// reporting them, matching the paper's cost accounting, which
 	// excludes output writing.
 	Emit func(geom.Pair)
+	// EmitBatch receives result pairs in pooled batches of up to
+	// pairbuf.BatchSize — the fast path for callers that can consume
+	// slices, amortizing the per-pair callback over thousands of
+	// pairs. The slice is only valid for the duration of the call and
+	// is reused afterwards; callers must copy pairs they retain. At
+	// most one of Emit and EmitBatch may be set.
+	EmitBatch func([]geom.Pair)
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -112,6 +133,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if !o.Universe.Valid() {
 		return o, fmt.Errorf("core: Options.Universe %v is invalid", o.Universe)
+	}
+	if o.Emit != nil && o.EmitBatch != nil {
+		return o, fmt.Errorf("core: Options.Emit and Options.EmitBatch are mutually exclusive")
 	}
 	if o.MemoryBytes == 0 {
 		o.MemoryBytes = 24 << 20
@@ -132,19 +156,33 @@ func (o Options) withDefaults() (Options, error) {
 }
 
 // newStructure builds the configured sweep structure.
-func (o Options) newStructure() sweep.Structure {
+func (o *Options) newStructure() sweep.Structure {
 	if o.UseForwardSweep {
 		return sweep.NewForward()
 	}
 	return sweep.NewStripedFor(o.Universe, o.Strips)
 }
 
-// emitPair multiplexes counting and the optional callback.
-func (o Options) emitPair(pairs *int64, ra, rb geom.Record) {
+// emitPair multiplexes counting and the optional callback, for
+// algorithms that filter kernel output (ownership tests) and so count
+// result pairs themselves.
+func (o *Options) emitPair(pairs *int64, ra, rb geom.Record) {
 	*pairs++
 	if o.Emit != nil {
 		o.Emit(geom.Pair{Left: ra.ID, Right: rb.ID})
 	}
+}
+
+// pairSink returns the kernel callback that forwards every pair to
+// Emit, or nil for counting-only joins — the fast path where the
+// sweep kernel tallies pairs with no per-pair indirection at all and
+// the caller reads the count from sweep.Stats.
+func (o *Options) pairSink() func(ra, rb geom.Record) {
+	if o.Emit == nil {
+		return nil
+	}
+	emit := o.Emit
+	return func(ra, rb geom.Record) { emit(geom.Pair{Left: ra.ID, Right: rb.ID}) }
 }
 
 // Result reports what a join did. Time is split the way the paper
@@ -235,15 +273,37 @@ func (r Result) String() string {
 	return fmt.Sprintf("%s: %d pairs, io {%s}, cpu %v", r.Algorithm, r.Pairs, r.IO, r.HostCPU)
 }
 
-// run wraps the common measurement scaffolding: counter snapshot and
-// wall-clock timing around the join body.
-func run(o Options, name string, body func(res *Result) error) (Result, error) {
+// run wraps the common scaffolding shared by every algorithm: the
+// initial cancellation check, counter snapshots and wall-clock timing,
+// the EmitBatch batcher (installed as the Options.Emit the body sees,
+// flushed on success, its pooled buffer released either way), and the
+// normalization of context errors into the ErrCanceled chain.
+func run(ctx context.Context, o Options, name string, body func(o Options, res *Result) error) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, wrapCanceled(err)
+	}
+	var bt *pairbuf.Batcher
+	if o.EmitBatch != nil {
+		bt = pairbuf.NewBatcher(o.EmitBatch)
+		o.Emit = bt.Emit
+		o.EmitBatch = nil
+	}
 	res := Result{Algorithm: name}
 	before := o.Store.Counters()
 	beforeDirect := o.Store.DirectCounters()
 	start := time.Now()
-	if err := body(&res); err != nil {
-		return Result{}, err
+	err := body(o, &res)
+	if bt != nil {
+		if err == nil {
+			bt.Flush()
+		}
+		bt.Release()
+	}
+	if err != nil {
+		return Result{}, wrapCanceled(err)
 	}
 	res.HostCPU = time.Since(start)
 	res.IO = o.Store.Counters().Sub(before)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -12,6 +13,9 @@ import (
 	"unijoin/internal/rtree"
 	"unijoin/internal/stream"
 )
+
+// bg is the context for tests that exercise no cancellation.
+var bg = context.Background()
 
 // env bundles a store with two relations in both representations.
 type env struct {
@@ -111,35 +115,35 @@ func checkEqual(t testing.TB, name string, got, want map[geom.Pair]bool) {
 func allAlgorithms(t *testing.T, e *env) {
 	want := bruteForcePairs(e.recsA, e.recsB)
 
-	got, _ := collect(t, func(o Options) (Result, error) { return SSSJ(o, e.fileA, e.fileB) }, e.options())
+	got, _ := collect(t, func(o Options) (Result, error) { return SSSJ(bg, o, e.fileA, e.fileB) }, e.options())
 	checkEqual(t, "SSSJ", got, want)
 
-	got, _ = collect(t, func(o Options) (Result, error) { return SSSJPartitioned(o, e.fileA, e.fileB, 4) }, e.options())
+	got, _ = collect(t, func(o Options) (Result, error) { return SSSJPartitioned(bg, o, e.fileA, e.fileB, 4) }, e.options())
 	checkEqual(t, "SSSJ-part", got, want)
 
-	got, _ = collect(t, func(o Options) (Result, error) { return PBSM(o, e.fileA, e.fileB) }, e.options())
+	got, _ = collect(t, func(o Options) (Result, error) { return PBSM(bg, o, e.fileA, e.fileB) }, e.options())
 	checkEqual(t, "PBSM", got, want)
 
-	got, _ = collect(t, func(o Options) (Result, error) { return ST(o, e.treeA, e.treeB) }, e.options())
+	got, _ = collect(t, func(o Options) (Result, error) { return ST(bg, o, e.treeA, e.treeB) }, e.options())
 	checkEqual(t, "ST", got, want)
 
 	got, _ = collect(t, func(o Options) (Result, error) {
-		return PQ(o, TreeInput(e.treeA), TreeInput(e.treeB))
+		return PQ(bg, o, TreeInput(e.treeA), TreeInput(e.treeB))
 	}, e.options())
 	checkEqual(t, "PQ tree/tree", got, want)
 
 	got, _ = collect(t, func(o Options) (Result, error) {
-		return PQ(o, TreeInput(e.treeA), FileInput(e.fileB))
+		return PQ(bg, o, TreeInput(e.treeA), FileInput(e.fileB))
 	}, e.options())
 	checkEqual(t, "PQ tree/file", got, want)
 
 	got, _ = collect(t, func(o Options) (Result, error) {
-		return PQ(o, FileInput(e.fileA), TreeInput(e.treeB))
+		return PQ(bg, o, FileInput(e.fileA), TreeInput(e.treeB))
 	}, e.options())
 	checkEqual(t, "PQ file/tree", got, want)
 
 	got, _ = collect(t, func(o Options) (Result, error) {
-		return PQ(o, FileInput(e.fileA), FileInput(e.fileB))
+		return PQ(bg, o, FileInput(e.fileA), FileInput(e.fileB))
 	}, e.options())
 	checkEqual(t, "PQ file/file", got, want)
 }
@@ -223,10 +227,10 @@ func TestAlgorithmsPropertyQuick(t *testing.T) {
 			}
 			return true
 		}
-		return check(func(o Options) (Result, error) { return SSSJ(o, e.fileA, e.fileB) }) &&
-			check(func(o Options) (Result, error) { return PBSM(o, e.fileA, e.fileB) }) &&
-			check(func(o Options) (Result, error) { return ST(o, e.treeA, e.treeB) }) &&
-			check(func(o Options) (Result, error) { return PQ(o, TreeInput(e.treeA), FileInput(e.fileB)) })
+		return check(func(o Options) (Result, error) { return SSSJ(bg, o, e.fileA, e.fileB) }) &&
+			check(func(o Options) (Result, error) { return PBSM(bg, o, e.fileA, e.fileB) }) &&
+			check(func(o Options) (Result, error) { return ST(bg, o, e.treeA, e.treeB) }) &&
+			check(func(o Options) (Result, error) { return PQ(bg, o, TreeInput(e.treeA), FileInput(e.fileB)) })
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
 		t.Fatal(err)
@@ -234,23 +238,23 @@ func TestAlgorithmsPropertyQuick(t *testing.T) {
 }
 
 func TestOptionsValidation(t *testing.T) {
-	if _, err := SSSJ(Options{}, nil, nil); err == nil {
+	if _, err := SSSJ(bg, Options{}, nil, nil); err == nil {
 		t.Fatal("missing store must error")
 	}
 	store := iosim.NewStore(iosim.DefaultPageSize)
 	bad := Options{Store: store, Universe: geom.EmptyRect()}
-	if _, err := SSSJ(bad, nil, nil); err == nil {
+	if _, err := SSSJ(bg, bad, nil, nil); err == nil {
 		t.Fatal("invalid universe must error")
 	}
-	if _, err := PQ(Options{Store: store, Universe: geom.NewRect(0, 0, 1, 1)}, Input{}, Input{}); err == nil {
+	if _, err := PQ(bg, Options{Store: store, Universe: geom.NewRect(0, 0, 1, 1)}, Input{}, Input{}); err == nil {
 		t.Fatal("empty input must error")
 	}
-	if _, err := ST(Options{Store: store, Universe: geom.NewRect(0, 0, 1, 1)}, nil, nil); err == nil {
+	if _, err := ST(bg, Options{Store: store, Universe: geom.NewRect(0, 0, 1, 1)}, nil, nil); err == nil {
 		t.Fatal("nil trees must error")
 	}
 	u := geom.NewRect(0, 0, 100, 100)
 	e := buildEnv(t, u, genUniform(11, 20, u, 5), genUniform(12, 20, u, 5))
-	if _, err := SSSJPartitioned(e.options(), e.fileA, e.fileB, 0); err == nil {
+	if _, err := SSSJPartitioned(bg, e.options(), e.fileA, e.fileB, 0); err == nil {
 		t.Fatal("zero slabs must error")
 	}
 }
@@ -263,7 +267,7 @@ func TestSSSJIOShape(t *testing.T) {
 	e := buildEnv(t, u, genUniform(13, 20000, u, 10), genUniform(14, 15000, u, 10))
 	o := e.options()
 	o.MemoryBytes = 128 << 10 // force real external sorting
-	_, res := collect(t, func(o Options) (Result, error) { return SSSJ(o, e.fileA, e.fileB) }, o)
+	_, res := collect(t, func(o Options) (Result, error) { return SSSJ(bg, o, e.fileA, e.fileB) }, o)
 	if res.IO.SeqReads < 2*res.IO.RandReads {
 		t.Fatalf("SSSJ should be mostly sequential: %v", res.IO)
 	}
@@ -287,7 +291,7 @@ func TestSSSJOverflowDetection(t *testing.T) {
 	e := buildEnv(t, u, recs, recs)
 	o := e.options()
 	o.MemoryBytes = 32 << 10 // floor is 4 pages on an 8K store
-	_, err := SSSJ(o, e.fileA, e.fileB)
+	_, err := SSSJ(bg, o, e.fileA, e.fileB)
 	if !errors.Is(err, ErrSweepOverflow) {
 		t.Fatalf("expected ErrSweepOverflow, got %v", err)
 	}
@@ -306,8 +310,8 @@ func TestSSSJPartitionedBoundsMemory(t *testing.T) {
 		b = append(b, geom.Record{Rect: geom.NewRect(x+1, 0, x+31, 100), ID: uint32(100000 + i)})
 	}
 	e := buildEnv(t, u, a, b)
-	_, plain := collect(t, func(o Options) (Result, error) { return SSSJ(o, e.fileA, e.fileB) }, e.options())
-	_, parted := collect(t, func(o Options) (Result, error) { return SSSJPartitioned(o, e.fileA, e.fileB, 8) }, e.options())
+	_, plain := collect(t, func(o Options) (Result, error) { return SSSJ(bg, o, e.fileA, e.fileB) }, e.options())
+	_, parted := collect(t, func(o Options) (Result, error) { return SSSJPartitioned(bg, o, e.fileA, e.fileB, 8) }, e.options())
 	if parted.Sweep.MaxLen*2 > plain.Sweep.MaxLen {
 		t.Fatalf("slabs should shrink the active set: %d vs %d", parted.Sweep.MaxLen, plain.Sweep.MaxLen)
 	}
@@ -321,7 +325,7 @@ func TestPBSMStatsAndReplication(t *testing.T) {
 	e := buildEnv(t, u, genUniform(15, 5000, u, 30), genUniform(16, 5000, u, 30))
 	o := e.options()
 	o.MemoryBytes = 64 << 10 // force several partitions
-	_, res := collect(t, func(o Options) (Result, error) { return PBSM(o, e.fileA, e.fileB) }, o)
+	_, res := collect(t, func(o Options) (Result, error) { return PBSM(bg, o, e.fileA, e.fileB) }, o)
 	if res.PBSM == nil {
 		t.Fatal("missing PBSM stats")
 	}
@@ -346,7 +350,7 @@ func TestPBSMFewTilesOverflows(t *testing.T) {
 	o := e.options()
 	o.MemoryBytes = 64 << 10
 	o.PBSMTilesPerAxis = 4
-	_, few := collect(t, func(o Options) (Result, error) { return PBSM(o, e.fileA, e.fileB) }, o)
+	_, few := collect(t, func(o Options) (Result, error) { return PBSM(bg, o, e.fileA, e.fileB) }, o)
 	if few.PBSM.OverflowedParts == 0 {
 		t.Fatal("coarse tiles on clustered data should overflow")
 	}
@@ -354,7 +358,7 @@ func TestPBSMFewTilesOverflows(t *testing.T) {
 		t.Fatal("overflow must charge swap I/O")
 	}
 	o.PBSMTilesPerAxis = 128
-	_, many := collect(t, func(o Options) (Result, error) { return PBSM(o, e.fileA, e.fileB) }, o)
+	_, many := collect(t, func(o Options) (Result, error) { return PBSM(bg, o, e.fileA, e.fileB) }, o)
 	if many.PBSM.MaxPartitionBytes >= few.PBSM.MaxPartitionBytes {
 		t.Fatalf("finer tiles should shrink the largest partition: %d vs %d",
 			many.PBSM.MaxPartitionBytes, few.PBSM.MaxPartitionBytes)
@@ -368,7 +372,7 @@ func TestSTPageRequestsSmallTreesFitPool(t *testing.T) {
 	e := buildEnv(t, u, genUniform(19, 3000, u, 15), genUniform(20, 2000, u, 15))
 	o := e.options()
 	o.BufferPoolBytes = 8 << 20
-	_, res := collect(t, func(o Options) (Result, error) { return ST(o, e.treeA, e.treeB) }, o)
+	_, res := collect(t, func(o Options) (Result, error) { return ST(bg, o, e.treeA, e.treeB) }, o)
 	total := int64(e.treeA.NumNodes() + e.treeB.NumNodes())
 	if res.PageRequests > total {
 		t.Fatalf("ST requests %d > %d nodes despite a big pool", res.PageRequests, total)
@@ -385,7 +389,7 @@ func TestSTPageRequestsSmallPoolRereads(t *testing.T) {
 	e := buildEnv(t, u, genUniform(21, 12000, u, 12), genUniform(22, 9000, u, 12))
 	o := e.options()
 	o.BufferPoolBytes = 64 << 10 // 8 pages
-	_, res := collect(t, func(o Options) (Result, error) { return ST(o, e.treeA, e.treeB) }, o)
+	_, res := collect(t, func(o Options) (Result, error) { return ST(bg, o, e.treeA, e.treeB) }, o)
 	total := int64(e.treeA.NumNodes() + e.treeB.NumNodes())
 	if res.PageRequests <= total {
 		t.Fatalf("tiny pool should cause rereads: %d requests for %d nodes", res.PageRequests, total)
@@ -405,10 +409,10 @@ func TestSTDifferentHeights(t *testing.T) {
 		t.Skip("trees ended up the same height; adjust sizes")
 	}
 	want := bruteForcePairs(big, tiny)
-	got, _ := collect(t, func(o Options) (Result, error) { return ST(o, e.treeA, e.treeB) }, e.options())
+	got, _ := collect(t, func(o Options) (Result, error) { return ST(bg, o, e.treeA, e.treeB) }, e.options())
 	checkEqual(t, "ST heights", got, want)
 	// And flipped.
-	got, _ = collect(t, func(o Options) (Result, error) { return ST(o, e.treeB, e.treeA) }, e.options())
+	got, _ = collect(t, func(o Options) (Result, error) { return ST(bg, o, e.treeB, e.treeA) }, e.options())
 	want2 := bruteForcePairs(tiny, big)
 	checkEqual(t, "ST heights flipped", got, want2)
 }
@@ -418,7 +422,7 @@ func TestPQTouchesEachTreePageOnce(t *testing.T) {
 	u := geom.NewRect(0, 0, 1000, 1000)
 	e := buildEnv(t, u, genUniform(25, 6000, u, 12), genUniform(26, 5000, u, 12))
 	_, res := collect(t, func(o Options) (Result, error) {
-		return PQ(o, TreeInput(e.treeA), TreeInput(e.treeB))
+		return PQ(bg, o, TreeInput(e.treeA), TreeInput(e.treeB))
 	}, e.options())
 	want := int64(e.treeA.NumNodes() + e.treeB.NumNodes())
 	if res.PageRequests != want {
@@ -430,7 +434,7 @@ func TestPQMemoryTracked(t *testing.T) {
 	u := geom.NewRect(0, 0, 1000, 1000)
 	e := buildEnv(t, u, genUniform(27, 6000, u, 12), genUniform(28, 5000, u, 12))
 	_, res := collect(t, func(o Options) (Result, error) {
-		return PQ(o, TreeInput(e.treeA), TreeInput(e.treeB))
+		return PQ(bg, o, TreeInput(e.treeA), TreeInput(e.treeB))
 	}, e.options())
 	if res.ScannerMaxBytes == 0 || res.SweepMaxBytes == 0 {
 		t.Fatalf("memory not tracked: scanner=%d sweep=%d", res.ScannerMaxBytes, res.SweepMaxBytes)
@@ -459,7 +463,7 @@ func TestPQWindowRestriction(t *testing.T) {
 	o := e.options()
 	o.Window = &window
 	got, res := collect(t, func(o Options) (Result, error) {
-		return PQ(o, TreeInput(e.treeA), TreeInput(e.treeB))
+		return PQ(bg, o, TreeInput(e.treeA), TreeInput(e.treeB))
 	}, o)
 	checkEqual(t, "PQ window", got, want)
 	full := int64(e.treeA.NumNodes() + e.treeB.NumNodes())
@@ -476,7 +480,7 @@ func TestPQRestrictScannersDisjointTrees(t *testing.T) {
 	o := e.options()
 	o.RestrictScanners = true
 	got, res := collect(t, func(o Options) (Result, error) {
-		return PQ(o, TreeInput(e.treeA), TreeInput(e.treeB))
+		return PQ(bg, o, TreeInput(e.treeA), TreeInput(e.treeB))
 	}, o)
 	if len(got) != 0 {
 		t.Fatal("disjoint trees should produce nothing")
@@ -496,9 +500,9 @@ func TestPQRandomIOVsSSSJSequential(t *testing.T) {
 	o := e.options()
 	o.MemoryBytes = 1 << 20
 	_, pqRes := collect(t, func(o Options) (Result, error) {
-		return PQ(o, TreeInput(e.treeA), TreeInput(e.treeB))
+		return PQ(bg, o, TreeInput(e.treeA), TreeInput(e.treeB))
 	}, o)
-	_, sjRes := collect(t, func(o Options) (Result, error) { return SSSJ(o, e.fileA, e.fileB) }, o)
+	_, sjRes := collect(t, func(o Options) (Result, error) { return SSSJ(bg, o, e.fileA, e.fileB) }, o)
 	if pqRes.IO.RandReads < pqRes.IO.SeqReads {
 		t.Fatalf("PQ should be mostly random: %v", pqRes.IO)
 	}
@@ -543,11 +547,11 @@ func TestPBSMSortDedupMatchesReferenceTile(t *testing.T) {
 	want := bruteForcePairs(e.recsA, e.recsB)
 	o := e.options()
 	o.PBSMSortDedup = true
-	got, res := collect(t, func(o Options) (Result, error) { return PBSM(o, e.fileA, e.fileB) }, o)
+	got, res := collect(t, func(o Options) (Result, error) { return PBSM(bg, o, e.fileA, e.fileB) }, o)
 	checkEqual(t, "PBSM sort-dedup", got, want)
 
 	o2 := e.options()
-	_, ref := collect(t, func(o Options) (Result, error) { return PBSM(o, e.fileA, e.fileB) }, o2)
+	_, ref := collect(t, func(o Options) (Result, error) { return PBSM(bg, o, e.fileA, e.fileB) }, o2)
 	if res.Pairs != ref.Pairs {
 		t.Fatalf("dedup modes disagree: %d vs %d", res.Pairs, ref.Pairs)
 	}

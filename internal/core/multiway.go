@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"unijoin/internal/geom"
@@ -27,7 +28,12 @@ type MultiwayResult struct {
 // The intermediate tuples are materialized (the paper pipelines them;
 // the ID table needed to reconstruct tuples is the same size, so the
 // memory asymptotics are unchanged and the I/O is identical: none).
-func MultiwayPQ(opts Options, inputs []Input, emit func(ids []geom.ID)) (MultiwayResult, error) {
+//
+// The context threads through every pipeline stage: each stage's sort,
+// scan, and sweep polls it, so canceling the context aborts the whole
+// multiway pipeline at the stage it is in.
+func MultiwayPQ(ctx context.Context, opts Options, inputs []Input, emit func(ids []geom.ID)) (MultiwayResult, error) {
+	ctx = orBG(ctx)
 	var mres MultiwayResult
 	o, err := opts.withDefaults()
 	if err != nil {
@@ -46,9 +52,12 @@ func MultiwayPQ(opts Options, inputs []Input, emit func(ids []geom.ID)) (Multiwa
 	var current []tuple
 
 	// Stage 1: inputs[0] x inputs[1] through the standard PQ join.
+	// Pair callbacks are not meaningful mid-pipeline, so the stages run
+	// without them; tuples are collected through the record callback.
 	stageOpts := o
-	stageOpts.Emit = nil // we collect tuples ourselves
-	res1, err := pqCollect(stageOpts, inputs[0], inputs[1], func(ra, rb geom.Record) {
+	stageOpts.Emit = nil
+	stageOpts.EmitBatch = nil
+	res1, err := pqCollect(ctx, stageOpts, inputs[0], inputs[1], func(ra, rb geom.Record) {
 		in, ok := ra.Rect.Intersection(rb.Rect)
 		if !ok {
 			return
@@ -64,13 +73,16 @@ func MultiwayPQ(opts Options, inputs []Input, emit func(ids []geom.ID)) (Multiwa
 	// Later stages: intermediate tuples (already y-sorted) against the
 	// next input.
 	for stage := 2; stage < len(inputs); stage++ {
+		if err := ctx.Err(); err != nil {
+			return mres, wrapCanceled(err)
+		}
 		recs := make([]geom.Record, len(current))
 		for i, tp := range current {
 			recs[i] = geom.Record{Rect: tp.rect, ID: geom.ID(i)}
 		}
 		prev := current
 		var next []tuple
-		stageRes, err := runStage(stageOpts, recs, inputs[stage], func(ri geom.Record, rb geom.Record) {
+		stageRes, err := runStage(ctx, stageOpts, recs, inputs[stage], func(ri geom.Record, rb geom.Record) {
 			in, ok := ri.Rect.Intersection(rb.Rect)
 			if !ok {
 				return
@@ -100,25 +112,23 @@ func MultiwayPQ(opts Options, inputs []Input, emit func(ids []geom.ID)) (Multiwa
 
 // pqCollect is PQ with a record-pair callback instead of an ID-pair
 // callback (the multiway stages need the rectangles).
-func pqCollect(o Options, a, b Input, emit func(ra, rb geom.Record)) (Result, error) {
-	return run(o, "PQ", func(res *Result) error {
-		sideA, err := pqSource(o, a, b)
+func pqCollect(ctx context.Context, o Options, a, b Input, emit func(ra, rb geom.Record)) (Result, error) {
+	return run(ctx, o, "PQ", func(o Options, res *Result) error {
+		sideA, err := pqSource(ctx, o, a, b)
 		if err != nil {
 			return err
 		}
 		defer sideA.release()
-		sideB, err := pqSource(o, b, a)
+		sideB, err := pqSource(ctx, o, b, a)
 		if err != nil {
 			return err
 		}
 		defer sideB.release()
-		st, err := sweep.Join(sideA.src, sideB.src, o.newStructure(), o.newStructure(), func(ra, rb geom.Record) {
-			res.Pairs++
-			emit(ra, rb)
-		})
+		st, err := sweep.Join(ctx, sideA.src, sideB.src, o.newStructure(), o.newStructure(), emit)
 		if err != nil {
 			return err
 		}
+		res.Pairs = st.Pairs
 		res.Sweep = st
 		res.SweepMaxBytes = st.MaxBytes
 		for _, side := range []pqSide{sideA, sideB} {
@@ -133,21 +143,19 @@ func pqCollect(o Options, a, b Input, emit func(ra, rb geom.Record)) (Result, er
 
 // runStage joins an in-memory y-sorted intermediate slice against one
 // more input.
-func runStage(o Options, intermediate []geom.Record, in Input, emit func(ri, rb geom.Record)) (Result, error) {
-	return run(o, "PQ-stage", func(res *Result) error {
-		side, err := pqSource(o, in, Input{})
+func runStage(ctx context.Context, o Options, intermediate []geom.Record, in Input, emit func(ri, rb geom.Record)) (Result, error) {
+	return run(ctx, o, "PQ-stage", func(o Options, res *Result) error {
+		side, err := pqSource(ctx, o, in, Input{})
 		if err != nil {
 			return err
 		}
 		defer side.release()
-		st, err := sweep.Join(sweep.NewSliceSource(intermediate), side.src,
-			o.newStructure(), o.newStructure(), func(ri, rb geom.Record) {
-				res.Pairs++
-				emit(ri, rb)
-			})
+		st, err := sweep.Join(ctx, sweep.NewSliceSource(intermediate), side.src,
+			o.newStructure(), o.newStructure(), emit)
 		if err != nil {
 			return err
 		}
+		res.Pairs = st.Pairs
 		res.Sweep = st
 		res.SweepMaxBytes = st.MaxBytes
 		if side.scanner != nil {

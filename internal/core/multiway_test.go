@@ -59,7 +59,7 @@ func TestMultiwayThreeWayMatchesBruteForce(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			got := make(map[[3]geom.ID]bool)
-			res, err := MultiwayPQ(e.options(), inputs, func(ids []geom.ID) {
+			res, err := MultiwayPQ(bg, e.options(), inputs, func(ids []geom.ID) {
 				if len(ids) != 3 {
 					t.Fatalf("tuple arity %d", len(ids))
 				}
@@ -95,7 +95,7 @@ func TestMultiwayTwoWayReducesToPQ(t *testing.T) {
 	e := buildEnv(t, u, genUniform(63, 500, u, 40), genUniform(64, 500, u, 40))
 	want := bruteForcePairs(e.recsA, e.recsB)
 	var tuples int
-	res, err := MultiwayPQ(e.options(), []Input{TreeInput(e.treeA), TreeInput(e.treeB)}, func(ids []geom.ID) {
+	res, err := MultiwayPQ(bg, e.options(), []Input{TreeInput(e.treeA), TreeInput(e.treeB)}, func(ids []geom.ID) {
 		if !want[geom.Pair{Left: ids[0], Right: ids[1]}] {
 			t.Fatalf("unexpected pair %v", ids)
 		}
@@ -142,7 +142,7 @@ func TestMultiwayFourWay(t *testing.T) {
 	}
 
 	got := make(map[[4]geom.ID]bool)
-	res, err := MultiwayPQ(e.options(),
+	res, err := MultiwayPQ(bg, e.options(),
 		[]Input{FileInput(e.fileA), FileInput(e.fileB), FileInput(fileC), FileInput(fileD)},
 		func(ids []geom.ID) { got[[4]geom.ID{ids[0], ids[1], ids[2], ids[3]}] = true })
 	if err != nil {
@@ -164,14 +164,14 @@ func TestMultiwayFourWay(t *testing.T) {
 func TestMultiwayValidation(t *testing.T) {
 	u := geom.NewRect(0, 0, 100, 100)
 	e := buildEnv(t, u, genUniform(80, 20, u, 10), genUniform(81, 20, u, 10))
-	if _, err := MultiwayPQ(e.options(), []Input{TreeInput(e.treeA)}, nil); err == nil {
+	if _, err := MultiwayPQ(bg, e.options(), []Input{TreeInput(e.treeA)}, nil); err == nil {
 		t.Fatal("fewer than 2 inputs must error")
 	}
-	if _, err := MultiwayPQ(Options{}, []Input{TreeInput(e.treeA), TreeInput(e.treeB)}, nil); err == nil {
+	if _, err := MultiwayPQ(bg, Options{}, []Input{TreeInput(e.treeA), TreeInput(e.treeB)}, nil); err == nil {
 		t.Fatal("missing store must error")
 	}
 	// nil emit is allowed: counting only.
-	res, err := MultiwayPQ(e.options(), []Input{TreeInput(e.treeA), TreeInput(e.treeB)}, nil)
+	res, err := MultiwayPQ(bg, e.options(), []Input{TreeInput(e.treeA), TreeInput(e.treeB)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestMultiwayIntermediateOrderIsSorted(t *testing.T) {
 	o := e.options()
 	prev := float64(-1e30)
 	violations := 0
-	_, err := pqCollect(o, TreeInput(e.treeA), TreeInput(e.treeB), func(ra, rb geom.Record) {
+	_, err := pqCollect(bg, o, TreeInput(e.treeA), TreeInput(e.treeB), func(ra, rb geom.Record) {
 		in, ok := ra.Rect.Intersection(rb.Rect)
 		if !ok {
 			t.Fatal("emitted pair without intersection")
@@ -222,7 +222,7 @@ func ExampleMultiwayPQ() {
 	a := mk(geom.NewRect(0, 0, 4, 4))
 	b := mk(geom.NewRect(2, 2, 6, 6))
 	c := mk(geom.NewRect(3, 3, 8, 8), geom.NewRect(9, 9, 10, 10))
-	res, _ := MultiwayPQ(Options{Store: store, Universe: u},
+	res, _ := MultiwayPQ(bg, Options{Store: store, Universe: u},
 		[]Input{FileInput(a), FileInput(b), FileInput(c)},
 		func(ids []geom.ID) { fmt.Println(ids) })
 	fmt.Println("tuples:", res.Tuples)

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
@@ -32,18 +32,27 @@ import (
 // relations, catastrophic as the outer grows (one index descent per
 // record); the `oneindex` experiment shows the crossover against PQ
 // and the seeded tree.
-func INL(opts Options, tree *rtree.Tree, b *iosim.File) (Result, error) {
+func INL(ctx context.Context, opts Options, tree *rtree.Tree, b *iosim.File) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
 	if tree == nil {
-		return Result{}, fmt.Errorf("core: INL requires an index on the left input")
+		return Result{}, needsIndexErr("INL")
 	}
-	return run(o, "INL", func(res *Result) error {
+	return run(ctx, o, "INL", func(o Options, res *Result) error {
 		pool := iosim.NewBufferPoolBytes(o.Store, o.BufferPoolBytes)
 		rd := stream.NewReader(b, stream.Records)
-		for {
+		for n := 0; ; n++ {
+			// One check per probe window: each probe is a full index
+			// descent, so this keeps cancellation prompt without a
+			// measurable cost.
+			if n&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			rec, ok, err := rd.Next()
 			if err != nil {
 				return err
@@ -71,22 +80,26 @@ func INL(opts Options, tree *rtree.Tree, b *iosim.File) (Result, error) {
 // seeded tree construction is charged to the result's I/O and CPU,
 // since building it is the whole point of comparing against PQ, which
 // needs only a sort.
-func SeededTreeJoin(opts Options, tree *rtree.Tree, b *iosim.File) (Result, error) {
+func SeededTreeJoin(ctx context.Context, opts Options, tree *rtree.Tree, b *iosim.File) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
 	if tree == nil {
-		return Result{}, fmt.Errorf("core: seeded-tree join requires an index on the left input")
+		return Result{}, needsIndexErr("seeded-tree join")
 	}
-	return run(o, "SeededST", func(res *Result) error {
+	return run(ctx, o, "SeededST", func(o Options, res *Result) error {
 		buildOpts := rtree.DefaultBuildOptions()
 		buildOpts.SortMemory = o.MemoryBytes
 		seeded, err := rtree.SeededBuild(o.Store, tree, b, buildOpts)
 		if err != nil {
 			return err
 		}
-		inner, err := ST(o, tree, seeded)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		inner, err := ST(ctx, o, tree, seeded)
 		if err != nil {
 			return err
 		}

@@ -11,7 +11,7 @@ func TestBFRJMatchesBruteForce(t *testing.T) {
 	u := geom.NewRect(0, 0, 1000, 1000)
 	e := buildEnv(t, u, genUniform(90, 900, u, 30), genUniform(91, 700, u, 30))
 	want := bruteForcePairs(e.recsA, e.recsB)
-	got, res := collect(t, func(o Options) (Result, error) { return BFRJ(o, e.treeA, e.treeB) }, e.options())
+	got, res := collect(t, func(o Options) (Result, error) { return BFRJ(bg, o, e.treeA, e.treeB) }, e.options())
 	checkEqual(t, "BFRJ", got, want)
 	if res.ScannerMaxBytes == 0 {
 		t.Fatal("intermediate join index size not tracked")
@@ -27,7 +27,7 @@ func TestBFRJDifferentHeights(t *testing.T) {
 		t.Skip("trees same height")
 	}
 	want := bruteForcePairs(big, tiny)
-	got, _ := collect(t, func(o Options) (Result, error) { return BFRJ(o, e.treeA, e.treeB) }, e.options())
+	got, _ := collect(t, func(o Options) (Result, error) { return BFRJ(bg, o, e.treeA, e.treeB) }, e.options())
 	checkEqual(t, "BFRJ heights", got, want)
 }
 
@@ -42,16 +42,16 @@ func TestBFRJNearOptimalIO(t *testing.T) {
 
 	small := e.options()
 	small.BufferPoolBytes = 64 << 10 // 8 pages
-	_, st := collect(t, func(o Options) (Result, error) { return ST(o, e.treeA, e.treeB) }, small)
-	_, bf := collect(t, func(o Options) (Result, error) { return BFRJ(o, e.treeA, e.treeB) }, small)
+	_, st := collect(t, func(o Options) (Result, error) { return ST(bg, o, e.treeA, e.treeB) }, small)
+	_, bf := collect(t, func(o Options) (Result, error) { return BFRJ(bg, o, e.treeA, e.treeB) }, small)
 	if bf.PageRequests >= st.PageRequests {
 		t.Fatalf("BFRJ (%d) should request fewer pages than ST (%d)", bf.PageRequests, st.PageRequests)
 	}
 
 	decent := e.options()
 	decent.BufferPoolBytes = int(lower) * e.store.PageSize() / 2 // pool = half the trees
-	_, st2 := collect(t, func(o Options) (Result, error) { return ST(o, e.treeA, e.treeB) }, decent)
-	_, bf2 := collect(t, func(o Options) (Result, error) { return BFRJ(o, e.treeA, e.treeB) }, decent)
+	_, st2 := collect(t, func(o Options) (Result, error) { return ST(bg, o, e.treeA, e.treeB) }, decent)
+	_, bf2 := collect(t, func(o Options) (Result, error) { return BFRJ(bg, o, e.treeA, e.treeB) }, decent)
 	if float64(bf2.PageRequests) > 1.2*float64(lower) {
 		t.Fatalf("BFRJ requests %d vs lower bound %d; want near-optimal with a decent pool",
 			bf2.PageRequests, lower)
@@ -66,11 +66,11 @@ func TestBFRJNearOptimalIO(t *testing.T) {
 func TestBFRJEmptyAndValidation(t *testing.T) {
 	u := geom.NewRect(0, 0, 100, 100)
 	e := buildEnv(t, u, genUniform(96, 50, u, 10), nil)
-	got, _ := collect(t, func(o Options) (Result, error) { return BFRJ(o, e.treeA, e.treeB) }, e.options())
+	got, _ := collect(t, func(o Options) (Result, error) { return BFRJ(bg, o, e.treeA, e.treeB) }, e.options())
 	if len(got) != 0 {
 		t.Fatal("empty side should produce nothing")
 	}
-	if _, err := BFRJ(e.options(), nil, e.treeB); err == nil {
+	if _, err := BFRJ(bg, e.options(), nil, e.treeB); err == nil {
 		t.Fatal("nil tree must error")
 	}
 }
@@ -79,12 +79,12 @@ func TestINLMatchesBruteForce(t *testing.T) {
 	u := geom.NewRect(0, 0, 1000, 1000)
 	e := buildEnv(t, u, genUniform(97, 2000, u, 20), genUniform(98, 300, u, 20))
 	want := bruteForcePairs(e.recsA, e.recsB)
-	got, res := collect(t, func(o Options) (Result, error) { return INL(o, e.treeA, e.fileB) }, e.options())
+	got, res := collect(t, func(o Options) (Result, error) { return INL(bg, o, e.treeA, e.fileB) }, e.options())
 	checkEqual(t, "INL", got, want)
 	if res.PageRequests == 0 {
 		t.Fatal("INL page requests not tracked")
 	}
-	if _, err := INL(e.options(), nil, e.fileB); err == nil {
+	if _, err := INL(bg, e.options(), nil, e.fileB); err == nil {
 		t.Fatal("nil tree must error")
 	}
 }
@@ -98,10 +98,10 @@ func TestINLProbeCostGrowsWithOuter(t *testing.T) {
 	eBig := buildEnv(t, u, inner, bigOuter)
 	o := e.options()
 	o.BufferPoolBytes = 64 << 10
-	_, small := collect(t, func(o Options) (Result, error) { return INL(o, e.treeA, e.fileB) }, o)
+	_, small := collect(t, func(o Options) (Result, error) { return INL(bg, o, e.treeA, e.fileB) }, o)
 	o2 := eBig.options()
 	o2.BufferPoolBytes = 64 << 10
-	_, big := collect(t, func(o Options) (Result, error) { return INL(o, eBig.treeA, eBig.fileB) }, o2)
+	_, big := collect(t, func(o Options) (Result, error) { return INL(bg, o, eBig.treeA, eBig.fileB) }, o2)
 	if big.LogicalRequests <= small.LogicalRequests*10 {
 		t.Fatalf("INL probes should scale with the outer: %d vs %d",
 			big.LogicalRequests, small.LogicalRequests)
@@ -114,10 +114,10 @@ func TestSeededTreeJoinMatchesBruteForce(t *testing.T) {
 		rtree.BuildOptions{Fanout: 32, FillFactor: 0.75, AreaSlack: 0.2, SortMemory: 1 << 20})
 	want := bruteForcePairs(e.recsA, e.recsB)
 	got, _ := collect(t, func(o Options) (Result, error) {
-		return SeededTreeJoin(o, e.treeA, e.fileB)
+		return SeededTreeJoin(bg, o, e.treeA, e.fileB)
 	}, e.options())
 	checkEqual(t, "SeededST", got, want)
-	if _, err := SeededTreeJoin(e.options(), nil, e.fileB); err == nil {
+	if _, err := SeededTreeJoin(bg, e.options(), nil, e.fileB); err == nil {
 		t.Fatal("nil tree must error")
 	}
 }
@@ -131,10 +131,10 @@ func TestSeededTreeJoinVsPQOneIndex(t *testing.T) {
 		rtree.DefaultBuildOptions())
 	o := e.options()
 	_, seeded := collect(t, func(o Options) (Result, error) {
-		return SeededTreeJoin(o, e.treeA, e.fileB)
+		return SeededTreeJoin(bg, o, e.treeA, e.fileB)
 	}, o)
 	_, pq := collect(t, func(o Options) (Result, error) {
-		return PQ(o, Input{Tree: e.treeA}, FileInput(e.fileB))
+		return PQ(bg, o, Input{Tree: e.treeA}, FileInput(e.fileB))
 	}, o)
 	if pq.Pairs != seeded.Pairs {
 		t.Fatalf("pair counts differ: %d vs %d", pq.Pairs, seeded.Pairs)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,12 +40,13 @@ type PBSMStats struct {
 // Partitions that exceed the memory budget are charged swap traffic
 // (one write and one read per overflowing page), modelling the page
 // faults the paper observed with 32x32 tiles before moving to 128x128.
-func PBSM(opts Options, a, b *iosim.File) (Result, error) {
+func PBSM(ctx context.Context, opts Options, a, b *iosim.File) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
-	return run(o, "PBSM", func(res *Result) error {
+	return run(ctx, o, "PBSM", func(o Options, res *Result) error {
 		t := o.PBSMTilesPerAxis
 		if t < 1 {
 			return fmt.Errorf("core: PBSM tiles per axis %d < 1", t)
@@ -87,12 +89,24 @@ func PBSM(opts Options, a, b *iosim.File) (Result, error) {
 			stamp := 0
 			rd := stream.NewReader(in, stream.Records)
 			for {
+				if stamp&4095 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				rec, ok, err := rd.Next()
 				if err != nil {
 					return nil, err
 				}
 				if !ok {
 					break
+				}
+				// Window filtering happens at partitioning time: a
+				// qualifying pair needs both records to intersect the
+				// window, so dropping non-window records per side is
+				// exact and saves the partition I/O.
+				if o.Window != nil && !rec.Rect.Intersects(*o.Window) {
+					continue
 				}
 				read++
 				stamp++
@@ -144,6 +158,9 @@ func PBSM(opts Options, a, b *iosim.File) (Result, error) {
 
 		// Join each partition in memory.
 		for pi := 0; pi < p; pi++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			recsA, err := stream.ReadAll(partsA[pi], stream.Records)
 			if err != nil {
 				return err
@@ -166,7 +183,7 @@ func PBSM(opts Options, a, b *iosim.File) (Result, error) {
 			sort.Slice(recsB, func(i, j int) bool { return geom.ByLowerY(recsB[i], recsB[j]) < 0 })
 			cur := pi
 			var sweepErr error
-			forwardSweepRecords(recsA, recsB, func(ra, rb geom.Record) {
+			err = forwardSweepRecords(ctx, recsA, recsB, func(ra, rb geom.Record) {
 				if o.PBSMSortDedup {
 					if err := dupWriter.Write(geom.Pair{Left: ra.ID, Right: rb.ID}); err != nil {
 						sweepErr = err
@@ -181,6 +198,9 @@ func PBSM(opts Options, a, b *iosim.File) (Result, error) {
 					o.emitPair(&res.Pairs, ra, rb)
 				}
 			})
+			if err != nil {
+				return err
+			}
 			if sweepErr != nil {
 				return sweepErr
 			}
@@ -200,7 +220,12 @@ func PBSM(opts Options, a, b *iosim.File) (Result, error) {
 			rd := stream.NewReader(sorted, stream.Pairs)
 			var prev geom.Pair
 			first := true
-			for {
+			for n := 0; ; n++ {
+				if n&4095 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				pr, ok, err := rd.Next()
 				if err != nil {
 					return err
@@ -247,10 +272,16 @@ func chargeSwap(store *iosim.Store, overflowBytes int64, swapPages *int64) error
 // forwardSweepRecords is the classic in-memory Forward-Sweep over two
 // y-sorted slices (Brinkhoff et al. [8]): repeatedly take the record
 // with the lower bottom edge and scan forward in the other list while
-// bottom edges stay under its top edge, testing x-overlap.
-func forwardSweepRecords(as, bs []geom.Record, emit func(a, b geom.Record)) {
+// bottom edges stay under its top edge, testing x-overlap. The outer
+// loop polls ctx so a canceled join stops mid-partition.
+func forwardSweepRecords(ctx context.Context, as, bs []geom.Record, emit func(a, b geom.Record)) error {
 	i, j := 0, 0
-	for i < len(as) && j < len(bs) {
+	for n := 0; i < len(as) && j < len(bs); n++ {
+		if n&1023 == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if as[i].Rect.YLo <= bs[j].Rect.YLo {
 			top := as[i].Rect.YHi
 			for k := j; k < len(bs) && bs[k].Rect.YLo <= top; k++ {
@@ -269,6 +300,7 @@ func forwardSweepRecords(as, bs []geom.Record, emit func(a, b geom.Record)) {
 			j++
 		}
 	}
+	return nil
 }
 
 // comparePairs orders pairs lexicographically for the sort-based

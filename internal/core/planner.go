@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"unijoin/internal/geom"
@@ -83,7 +84,8 @@ func (d Decision) String() string {
 // index always take the sort path; inputs without a file must take the
 // index path. Estimation uses grid histograms built with one
 // sequential scan over each input file.
-func (p Planner) Plan(opts Options, a, b Input) (Decision, error) {
+func (p Planner) Plan(ctx context.Context, opts Options, a, b Input) (Decision, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Decision{}, err
@@ -96,13 +98,13 @@ func (p Planner) Plan(opts Options, a, b Input) (Decision, error) {
 
 	// Build histograms from whichever representation is available
 	// without touching the trees (files preferred: sequential scans).
-	ga, mbrA, err := inputHistogram(o, a, res)
+	ga, mbrA, err := inputHistogram(ctx, o, a, res)
 	if err != nil {
-		return d, err
+		return d, wrapCanceled(err)
 	}
-	gb, mbrB, err := inputHistogram(o, b, res)
+	gb, mbrB, err := inputHistogram(ctx, o, b, res)
 	if err != nil {
-		return d, err
+		return d, wrapCanceled(err)
 	}
 	d.MBRA, d.MBRB = mbrA, mbrB
 	if p.UseMinSkew {
@@ -160,8 +162,8 @@ func decideSide(in Input, frac, threshold float64) bool {
 // decision says so, then the unified PQ join runs on the chosen
 // representations (with scanner restriction enabled, so a selective
 // index side skips irrelevant subtrees).
-func (p Planner) Join(opts Options, a, b Input) (Decision, Result, error) {
-	d, err := p.Plan(opts, a, b)
+func (p Planner) Join(ctx context.Context, opts Options, a, b Input) (Decision, Result, error) {
+	d, err := p.Plan(ctx, opts, a, b)
 	if err != nil {
 		return d, Result{}, err
 	}
@@ -186,19 +188,24 @@ func (p Planner) Join(opts Options, a, b Input) (Decision, Result, error) {
 			opts.Window = &w
 		}
 	}
-	res, err := PQ(opts, ea, eb)
+	res, err := PQ(ctx, opts, ea, eb)
 	return d, res, err
 }
 
 // inputHistogram builds a grid and the observed MBR for one input,
 // scanning its file when present or walking the tree's leaves
 // otherwise.
-func inputHistogram(o Options, in Input, res int) (*histogram.Grid, geom.Rect, error) {
+func inputHistogram(ctx context.Context, o Options, in Input, res int) (*histogram.Grid, geom.Rect, error) {
 	if in.File != nil {
 		g := histogram.New(o.Universe, res, res)
 		mbr := geom.EmptyRect()
 		r := stream.NewReader(in.File, stream.Records)
-		for {
+		for n := 0; ; n++ {
+			if n&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, mbr, err
+				}
+			}
 			rec, ok, err := r.Next()
 			if err != nil {
 				return nil, mbr, err
@@ -215,7 +222,12 @@ func inputHistogram(o Options, in Input, res int) (*histogram.Grid, geom.Rect, e
 	}
 	g := histogram.New(o.Universe, res, res)
 	sc := in.Tree.Scanner(storeReaderFor(o))
-	for {
+	for n := 0; ; n++ {
+		if n&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, geom.Rect{}, err
+			}
+		}
 		r, ok, err := sc.Next()
 		if err != nil {
 			return nil, geom.Rect{}, err

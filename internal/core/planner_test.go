@@ -50,7 +50,7 @@ func TestPlannerChoosesSortForFullOverlap(t *testing.T) {
 	u := geom.NewRect(0, 0, 1000, 1000)
 	e := buildEnv(t, u, genUniform(40, 4000, u, 15), genUniform(41, 3000, u, 15))
 	p := Planner{Machine: iosim.Machine1}
-	d, err := p.Plan(e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
+	d, err := p.Plan(bg, e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestPlannerChoosesIndexForSelectiveJoin(t *testing.T) {
 	small := genUniform(43, 300, geom.NewRect(0, 0, 80, 80), 8)
 	e := buildEnv(t, u, big, small)
 	p := Planner{Machine: iosim.Machine1}
-	d, err := p.Plan(e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
+	d, err := p.Plan(bg, e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestPlannerJoinProducesCorrectPairs(t *testing.T) {
 		}
 		got[pr] = true
 	}
-	d, res, err := p.Join(o, Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
+	d, res, err := p.Join(bg, o, Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +115,14 @@ func TestPlannerWindowLowersEstimate(t *testing.T) {
 	u := geom.NewRect(0, 0, 1000, 1000)
 	e := buildEnv(t, u, genUniform(46, 5000, u, 10), genUniform(47, 4000, u, 10))
 	p := Planner{Machine: iosim.Machine1}
-	noWin, err := p.Plan(e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
+	noWin, err := p.Plan(bg, e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := e.options()
 	w := geom.NewRect(0, 0, 150, 150)
 	o.Window = &w
-	withWin, err := p.Plan(o, Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
+	withWin, err := p.Plan(bg, o, Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,14 +135,14 @@ func TestPlannerHandlesTreeOnlyInput(t *testing.T) {
 	u := geom.NewRect(0, 0, 500, 500)
 	e := buildEnv(t, u, genUniform(48, 2000, u, 10), genUniform(49, 1500, u, 10))
 	p := Planner{Machine: iosim.Machine3}
-	d, err := p.Plan(e.options(), TreeInput(e.treeA), Input{File: e.fileB, Tree: e.treeB})
+	d, err := p.Plan(bg, e.options(), TreeInput(e.treeA), Input{File: e.fileB, Tree: e.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !d.UseIndexA {
 		t.Fatal("tree-only input must take the index path")
 	}
-	if _, err := p.Plan(e.options(), Input{}, FileInput(e.fileB)); err == nil {
+	if _, err := p.Plan(bg, e.options(), Input{}, FileInput(e.fileB)); err == nil {
 		t.Fatal("empty input must error")
 	}
 }
@@ -155,7 +155,7 @@ func TestPlannerMinSkewEstimator(t *testing.T) {
 	small := genUniform(121, 300, geom.NewRect(0, 0, 80, 80), 8)
 	e := buildEnv(t, u, big, small)
 	p := Planner{Machine: iosim.Machine1, UseMinSkew: true}
-	d, err := p.Plan(e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
+	d, err := p.Plan(bg, e.options(), Input{File: e.fileA, Tree: e.treeA}, Input{File: e.fileB, Tree: e.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestPlannerMinSkewEstimator(t *testing.T) {
 	}
 	// Full overlap: sort both sides.
 	e2 := buildEnv(t, u, genUniform(122, 5000, u, 12), genUniform(123, 4000, u, 12))
-	d2, err := p.Plan(e2.options(), Input{File: e2.fileA, Tree: e2.treeA}, Input{File: e2.fileB, Tree: e2.treeB})
+	d2, err := p.Plan(bg, e2.options(), Input{File: e2.fileA, Tree: e2.treeA}, Input{File: e2.fileB, Tree: e2.treeB})
 	if err != nil {
 		t.Fatal(err)
 	}

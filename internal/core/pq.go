@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"unijoin/internal/geom"
@@ -24,30 +25,32 @@ import (
 // Options.RestrictScanners, each tree scanner is additionally bounded
 // by the other input's MBR; this is a no-op when the inputs cover the
 // same region, which is why Table 4's PQ numbers equal the tree sizes.
-func PQ(opts Options, a, b Input) (Result, error) {
+func PQ(ctx context.Context, opts Options, a, b Input) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
 	if a.File == nil && a.Tree == nil || b.File == nil && b.Tree == nil {
-		return Result{}, fmt.Errorf("core: PQ inputs need a file or a tree")
+		return Result{}, fmt.Errorf("%w: PQ inputs need a file or a tree", ErrNilRelation)
 	}
-	return run(o, "PQ", func(res *Result) error {
-		sideA, err := pqSource(o, a, b)
+	return run(ctx, o, "PQ", func(o Options, res *Result) error {
+		sideA, err := pqSource(ctx, o, a, b)
 		if err != nil {
 			return err
 		}
 		defer sideA.release()
-		sideB, err := pqSource(o, b, a)
+		sideB, err := pqSource(ctx, o, b, a)
 		if err != nil {
 			return err
 		}
 		defer sideB.release()
-		st, err := sweep.Join(sideA.src, sideB.src, o.newStructure(), o.newStructure(),
-			func(ra, rb geom.Record) { o.emitPair(&res.Pairs, ra, rb) })
+		st, err := sweep.Join(ctx, sideA.src, sideB.src, o.newStructure(), o.newStructure(),
+			o.pairSink())
 		if err != nil {
 			return err
 		}
+		res.Pairs = st.Pairs
 		res.Sweep = st
 		res.SweepMaxBytes = st.MaxBytes
 		for _, side := range []pqSide{sideA, sideB} {
@@ -85,7 +88,7 @@ func (s pqSide) release() {
 // inputs the scanner carries page and memory statistics; for
 // non-indexed inputs the external sort's statistics and temp file are
 // carried instead.
-func pqSource(o Options, in, other Input) (pqSide, error) {
+func pqSource(ctx context.Context, o Options, in, other Input) (pqSide, error) {
 	if in.Tree != nil {
 		window, useWindow := pqWindow(o, other)
 		var sc *rtree.SortedScanner
@@ -103,7 +106,7 @@ func pqSource(o Options, in, other Input) (pqSide, error) {
 	rd := stream.NewReader(sorted, stream.Records)
 	side := pqSide{src: rd, sort: &stats, temp: sorted}
 	if window, useWindow := pqWindow(o, other); useWindow {
-		side.src = &windowFilterSource{src: rd, window: window}
+		side.src = &windowFilterSource{ctx: ctx, src: rd, window: window}
 	}
 	return side, nil
 }
@@ -134,11 +137,23 @@ func pqWindow(o Options, other Input) (geom.Rect, bool) {
 	return w, have
 }
 
+// windowed wraps src with a window filter when w is set.
+func windowed(ctx context.Context, src sweep.Source, w *geom.Rect) sweep.Source {
+	if w == nil {
+		return src
+	}
+	return &windowFilterSource{ctx: ctx, src: src, window: *w}
+}
+
 // windowFilterSource drops records outside a window from a sorted
-// source, preserving order.
+// source, preserving order. Long runs of filtered-out records are the
+// one place a single Next call can do unbounded work, so the skip
+// loop polls the context.
 type windowFilterSource struct {
-	src    sweep.Source
-	window geom.Rect
+	ctx     context.Context
+	src     sweep.Source
+	window  geom.Rect
+	skipped int
 }
 
 // Next implements sweep.Source.
@@ -150,6 +165,12 @@ func (w *windowFilterSource) Next() (geom.Record, bool, error) {
 		}
 		if r.Rect.Intersects(w.window) {
 			return r, true, nil
+		}
+		w.skipped++
+		if w.skipped&4095 == 0 && w.ctx != nil {
+			if err := w.ctx.Err(); err != nil {
+				return geom.Record{}, false, err
+			}
 		}
 	}
 }

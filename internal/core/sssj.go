@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"unijoin/internal/geom"
@@ -22,17 +23,21 @@ import (
 // If the sweep structure nevertheless outgrows the budget, SSSJ
 // reports ErrSweepOverflow; SSSJPartitioned is the
 // distribution-sweeping fallback for such adversarial inputs.
-func SSSJ(opts Options, a, b *iosim.File) (Result, error) {
+func SSSJ(ctx context.Context, opts Options, a, b *iosim.File) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
-	return run(o, "SSSJ", func(res *Result) error {
+	return run(ctx, o, "SSSJ", func(o Options, res *Result) error {
 		sortedA, statsA, err := stream.Sort(o.Store, a, stream.Records, geom.ByLowerY, o.MemoryBytes)
 		if err != nil {
 			return err
 		}
 		defer sortedA.Release()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sortedB, statsB, err := stream.Sort(o.Store, b, stream.Records, geom.ByLowerY, o.MemoryBytes)
 		if err != nil {
 			return err
@@ -40,15 +45,19 @@ func SSSJ(opts Options, a, b *iosim.File) (Result, error) {
 		defer sortedB.Release()
 		res.SortStats = []stream.SortStats{statsA, statsB}
 
-		st, err := sweep.Join(
-			stream.NewReader(sortedA, stream.Records),
-			stream.NewReader(sortedB, stream.Records),
+		// A window cannot reduce the sort passes (the paper's §6.3
+		// point: the sort path has no locality to exploit) but it does
+		// filter the sweep, so only window records meet the kernel.
+		srcA := windowed(ctx, stream.NewReader(sortedA, stream.Records), o.Window)
+		srcB := windowed(ctx, stream.NewReader(sortedB, stream.Records), o.Window)
+		st, err := sweep.Join(ctx, srcA, srcB,
 			o.newStructure(), o.newStructure(),
-			func(ra, rb geom.Record) { o.emitPair(&res.Pairs, ra, rb) },
+			o.pairSink(),
 		)
 		if err != nil {
 			return err
 		}
+		res.Pairs = st.Pairs
 		res.Sweep = st
 		res.SweepMaxBytes = st.MaxBytes
 		if st.MaxBytes > o.MemoryBytes {
@@ -77,7 +86,8 @@ var ErrSweepOverflow = fmt.Errorf("core: sweep structure exceeded internal memor
 // [4, 5]: one level of partitioning along x, which is all that is ever
 // needed unless the active-rectangle population exceeds memory by more
 // than the slab factor.
-func SSSJPartitioned(opts Options, a, b *iosim.File, slabs int) (Result, error) {
+func SSSJPartitioned(ctx context.Context, opts Options, a, b *iosim.File, slabs int) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
@@ -86,9 +96,9 @@ func SSSJPartitioned(opts Options, a, b *iosim.File, slabs int) (Result, error) 
 		return Result{}, fmt.Errorf("core: slab count %d < 1", slabs)
 	}
 	if slabs == 1 {
-		return SSSJ(opts, a, b)
+		return SSSJ(ctx, opts, a, b)
 	}
-	return run(o, "SSSJ-part", func(res *Result) error {
+	return run(ctx, o, "SSSJ-part", func(o Options, res *Result) error {
 		// Slab boundaries over the universe's x-range.
 		width := float64(o.Universe.Width()) / float64(slabs)
 		if width <= 0 {
@@ -113,13 +123,21 @@ func SSSJPartitioned(opts Options, a, b *iosim.File, slabs int) (Result, error) 
 				writers[i] = stream.NewWriter(files[i], stream.Records)
 			}
 			rd := stream.NewReader(in, stream.Records)
-			for {
+			for n := 0; ; n++ {
+				if n&4095 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				rec, ok, err := rd.Next()
 				if err != nil {
 					return nil, err
 				}
 				if !ok {
 					break
+				}
+				if o.Window != nil && !rec.Rect.Intersects(*o.Window) {
+					continue
 				}
 				for s := slabOf(rec.Rect.XLo); s <= slabOf(rec.Rect.XHi); s++ {
 					if err := writers[s].Write(rec); err != nil {
@@ -145,6 +163,9 @@ func SSSJPartitioned(opts Options, a, b *iosim.File, slabs int) (Result, error) 
 		}
 
 		for s := 0; s < slabs; s++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			sortedA, statsA, err := stream.Sort(o.Store, slabsA[s], stream.Records, geom.ByLowerY, o.MemoryBytes)
 			if err != nil {
 				return err
@@ -158,7 +179,7 @@ func SSSJPartitioned(opts Options, a, b *iosim.File, slabs int) (Result, error) 
 			res.SortStats = append(res.SortStats, statsA, statsB)
 
 			cur := s
-			st, err := sweep.Join(
+			st, err := sweep.Join(ctx,
 				stream.NewReader(sortedA, stream.Records),
 				stream.NewReader(sortedB, stream.Records),
 				o.newStructure(), o.newStructure(),

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"slices"
 
 	"unijoin/internal/geom"
@@ -25,22 +25,25 @@ import (
 // the pool.
 //
 // Trees of different heights are handled by descending only the taller
-// tree until levels match.
-func ST(opts Options, ta, tb *rtree.Tree) (Result, error) {
+// tree until levels match. With Options.Window set, node pairs that
+// cannot contain window records are pruned and leaf matches are
+// filtered to records intersecting the window on both sides.
+func ST(ctx context.Context, opts Options, ta, tb *rtree.Tree) (Result, error) {
+	ctx = orBG(ctx)
 	o, err := opts.withDefaults()
 	if err != nil {
 		return Result{}, err
 	}
 	if ta == nil || tb == nil {
-		return Result{}, fmt.Errorf("core: ST requires two R-trees")
+		return Result{}, needsIndexErr("ST")
 	}
-	return run(o, "ST", func(res *Result) error {
+	return run(ctx, o, "ST", func(o Options, res *Result) error {
 		pool := iosim.NewBufferPoolBytes(o.Store, o.BufferPoolBytes)
 		height := ta.Height()
 		if tb.Height() > height {
 			height = tb.Height()
 		}
-		j := &stJoin{o: o, ta: ta, tb: tb, pool: pool, res: res,
+		j := &stJoin{ctx: ctx, o: o, ta: ta, tb: tb, pool: pool, res: res,
 			scratch: make([][2][]rtree.Entry, height+1)}
 		if ta.NumRecords() > 0 && tb.NumRecords() > 0 && ta.MBR().Intersects(tb.MBR()) {
 			if err := j.joinNodes(ta.Root(), tb.Root()); err != nil {
@@ -54,6 +57,7 @@ func ST(opts Options, ta, tb *rtree.Tree) (Result, error) {
 }
 
 type stJoin struct {
+	ctx  context.Context
 	o    Options
 	ta   *rtree.Tree
 	tb   *rtree.Tree
@@ -71,14 +75,24 @@ type entryPair struct {
 	a, b rtree.Entry
 }
 
-// joinNodes processes one pair of nodes (by page).
+// joinNodes processes one pair of nodes (by page). The per-node-pair
+// cancellation check bounds the work after a cancel to one pair of
+// pages.
 func (j *stJoin) joinNodes(pa, pb iosim.PageID) error {
+	if err := j.ctx.Err(); err != nil {
+		return err
+	}
 	var na, nb rtree.Node
 	if err := j.ta.ReadNode(j.pool, pa, &na); err != nil {
 		return err
 	}
 	if err := j.tb.ReadNode(j.pool, pb, &nb); err != nil {
 		return err
+	}
+	// Window pruning: a node whose MBR misses the window cannot hold a
+	// qualifying record.
+	if w := j.o.Window; w != nil && (!na.MBR().Intersects(*w) || !nb.MBR().Intersects(*w)) {
+		return nil
 	}
 
 	// Unequal levels: descend the taller side only.
@@ -108,6 +122,9 @@ func (j *stJoin) joinNodes(pa, pb iosim.PageID) error {
 	pairs := matchNodeEntries(&na, &nb, &j.scratch[na.Level], &j.pairs)
 	if na.Leaf() {
 		for _, p := range pairs {
+			if !pairInWindow(j.o.Window, p.a.Rect, p.b.Rect) {
+				continue
+			}
 			j.o.emitPair(&j.res.Pairs, geom.Record{Rect: p.a.Rect, ID: p.a.Ref},
 				geom.Record{Rect: p.b.Rect, ID: p.b.Ref})
 		}

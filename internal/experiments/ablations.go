@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,7 +16,7 @@ import (
 // AblationSweep compares Striped-Sweep against Forward-Sweep inside
 // the SSSJ kernel — the 2-5x claim of Arge et al. [4] that motivated
 // adopting Striped-Sweep for SSSJ and PQ.
-func AblationSweep(cfg Config) (*Table, error) {
+func AblationSweep(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "abl-sweep",
 		Title:  "Striped-Sweep vs Forward-Sweep in SSSJ (claim of [4]: 2-5x)",
@@ -23,13 +24,13 @@ func AblationSweep(cfg Config) (*Table, error) {
 	}
 	err := cfg.forEach(func(e *Env) error {
 		o := e.Options()
-		striped, err := core.SSSJ(o, e.RoadsFile, e.HydroFile)
+		striped, err := core.SSSJ(ctx, o, e.RoadsFile, e.HydroFile)
 		if err != nil {
 			return err
 		}
 		o = e.Options()
 		o.UseForwardSweep = true
-		forward, err := core.SSSJ(o, e.RoadsFile, e.HydroFile)
+		forward, err := core.SSSJ(ctx, o, e.RoadsFile, e.HydroFile)
 		if err != nil {
 			return err
 		}
@@ -52,7 +53,7 @@ func AblationSweep(cfg Config) (*Table, error) {
 // AblationSTBufferPool sweeps ST's buffer pool size, reproducing the
 // Table 4 transition: pools that hold both trees give near-optimal
 // page requests; small pools cause rereads.
-func AblationSTBufferPool(cfg Config, set string) (*Table, error) {
+func AblationSTBufferPool(ctx context.Context, cfg Config, set string) (*Table, error) {
 	env, err := prepareOne(cfg, set)
 	if err != nil {
 		return nil, err
@@ -71,7 +72,7 @@ func AblationSTBufferPool(cfg Config, set string) (*Table, error) {
 		}
 		o := env.Options()
 		o.BufferPoolBytes = poolBytes
-		res, err := core.ST(o, env.RoadsTree, env.HydroTree)
+		res, err := core.ST(ctx, o, env.RoadsTree, env.HydroTree)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +90,7 @@ func AblationSTBufferPool(cfg Config, set string) (*Table, error) {
 // 100% packing, following the DeWitt et al. recommendation quoted in
 // Section 3.3: full packing causes overlap and more index I/O for
 // queries and joins.
-func AblationPacking(cfg Config, set string) (*Table, error) {
+func AblationPacking(ctx context.Context, cfg Config, set string) (*Table, error) {
 	spec, err := specOf(cfg, set)
 	if err != nil {
 		return nil, err
@@ -119,7 +120,7 @@ func AblationPacking(cfg Config, set string) (*Table, error) {
 			return nil, err
 		}
 		o := env.Options()
-		res, err := core.ST(o, env.RoadsTree, env.HydroTree)
+		res, err := core.ST(ctx, o, env.RoadsTree, env.HydroTree)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +140,7 @@ func AblationPacking(cfg Config, set string) (*Table, error) {
 // AblationPBSMTiles reproduces the paper's tuning note (Section 3.2):
 // 32x32 tiles (Patel and DeWitt's original) overflow partitions on
 // clustered data, 128x128 does not.
-func AblationPBSMTiles(cfg Config, set string) (*Table, error) {
+func AblationPBSMTiles(ctx context.Context, cfg Config, set string) (*Table, error) {
 	env, err := prepareOne(cfg, set)
 	if err != nil {
 		return nil, err
@@ -152,7 +153,7 @@ func AblationPBSMTiles(cfg Config, set string) (*Table, error) {
 	for _, tiles := range []int{8, 32, 128} {
 		o := env.Options()
 		o.PBSMTilesPerAxis = tiles
-		res, err := core.PBSM(o, env.RoadsFile, env.HydroFile)
+		res, err := core.PBSM(ctx, o, env.RoadsFile, env.HydroFile)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +172,7 @@ func AblationPBSMTiles(cfg Config, set string) (*Table, error) {
 // AblationPQLeafStreaming quantifies the Section 4 optimization of
 // keeping leaf rectangles out of the priority queue: same output, much
 // smaller queue and faster extraction.
-func AblationPQLeafStreaming(cfg Config, set string) (*Table, error) {
+func AblationPQLeafStreaming(ctx context.Context, cfg Config, set string) (*Table, error) {
 	env, err := prepareOne(cfg, set)
 	if err != nil {
 		return nil, err
@@ -218,7 +219,7 @@ func AblationPQLeafStreaming(cfg Config, set string) (*Table, error) {
 // sequential I/O; the same trees with pages shuffled — modelling an
 // index degraded by updates — lose that advantage. PQ's random access
 // pattern is layout-insensitive.
-func AblationLayout(cfg Config, set string) (*Table, error) {
+func AblationLayout(ctx context.Context, cfg Config, set string) (*Table, error) {
 	env, err := prepareOne(cfg, set)
 	if err != nil {
 		return nil, err
@@ -239,7 +240,7 @@ func AblationLayout(cfg Config, set string) (*Table, error) {
 	m := iosim.Machine3
 	runST := func(label string, a, b *rtree.Tree) error {
 		o := env.Options()
-		res, err := core.ST(o, a, b)
+		res, err := core.ST(ctx, o, a, b)
 		if err != nil {
 			return err
 		}
@@ -251,7 +252,7 @@ func AblationLayout(cfg Config, set string) (*Table, error) {
 	}
 	runPQ := func(label string, a, b *rtree.Tree) error {
 		o := env.Options()
-		res, err := core.PQ(o, core.TreeInput(a), core.TreeInput(b))
+		res, err := core.PQ(ctx, o, core.TreeInput(a), core.TreeInput(b))
 		if err != nil {
 			return err
 		}

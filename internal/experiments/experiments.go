@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"unijoin/internal/core"
+	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
 	"unijoin/internal/rtree"
 	"unijoin/internal/stream"
@@ -30,6 +31,10 @@ type Config struct {
 	// SkipLargest drops data sets above this index when > 0 (quick
 	// runs use the first 2-3 sets).
 	SkipLargest int
+	// Window, when set, restricts the wall-clock experiment's joins
+	// to this rectangle (sjbench -window); the paper-reproduction
+	// tables are defined over the full data sets and ignore it.
+	Window *geom.Rect
 }
 
 // DefaultConfig runs all six data sets at 1/100 scale.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestPrepareBuildsConsistentEnv(t *testing.T) {
 }
 
 func TestTable2OutputsWithinBand(t *testing.T) {
-	tab, err := Table2(tinyConfig())
+	tab, err := Table2(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,13 +70,13 @@ func TestTable2OutputsWithinBand(t *testing.T) {
 
 func TestTable3MemoryStaysSmall(t *testing.T) {
 	// Table3 itself enforces the memory bound; just run it.
-	if _, err := Table3(tinyConfig()); err != nil {
+	if _, err := Table3(context.Background(), tinyConfig()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTable4PQOptimal(t *testing.T) {
-	tab, err := Table4(tinyConfig())
+	tab, err := Table4(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err) // Table4 errors if PQ is not exactly optimal
 	}
@@ -88,7 +89,7 @@ func TestTable4PQOptimal(t *testing.T) {
 
 func TestFig2And3Shapes(t *testing.T) {
 	cfg := tinyConfig()
-	f2, err := Fig2(cfg)
+	f2, err := Fig2(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFig2And3Shapes(t *testing.T) {
 	if len(f2.Rows) != 12 {
 		t.Fatalf("fig2 rows = %d", len(f2.Rows))
 	}
-	f3, err := Fig3(cfg)
+	f3, err := Fig3(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSelectiveCrossesOver(t *testing.T) {
 		Tiger: tiger.Config{Scale: 0.002, Seed: 1997, Clusters: 40},
 		Sets:  []string{"DISK1"},
 	}
-	tab, err := Selective(cfg, "DISK1")
+	tab, err := Selective(context.Background(), cfg, "DISK1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 	}
 	cfg := tinyConfig()
 	var sb strings.Builder
-	if err := RunAll(cfg, &sb); err != nil {
+	if err := RunAll(context.Background(), cfg, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -153,7 +154,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 func TestOneIndexStrategiesAgree(t *testing.T) {
 	// OneIndex itself errors if any strategy's pair count diverges.
 	cfg := tinyConfig()
-	tab, err := OneIndex(cfg, "NY")
+	tab, err := OneIndex(context.Background(), cfg, "NY")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestBFRJCompareApproachesLowerBound(t *testing.T) {
 		Tiger: tiger.Config{Scale: 0.01, Seed: 1997, Clusters: 40},
 		Sets:  []string{"DISK1"},
 	}
-	tab, err := BFRJCompare(cfg, "DISK1")
+	tab, err := BFRJCompare(context.Background(), cfg, "DISK1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,21 +187,21 @@ func TestBFRJCompareApproachesLowerBound(t *testing.T) {
 }
 
 func TestRegistryUnknownID(t *testing.T) {
-	if err := Run("nope", tinyConfig(), &strings.Builder{}); err == nil {
+	if err := Run(context.Background(), "nope", tinyConfig(), &strings.Builder{}); err == nil {
 		t.Fatal("unknown id must error")
 	}
 }
 
 func TestAblationSweepAgreesOnPairs(t *testing.T) {
 	// AblationSweep itself verifies pair equality between structures.
-	if _, err := AblationSweep(tinyConfig()); err != nil {
+	if _, err := AblationSweep(context.Background(), tinyConfig()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAblationPoolMonotone(t *testing.T) {
 	cfg := tinyConfig()
-	tab, err := AblationSTBufferPool(cfg, "NY")
+	tab, err := AblationSTBufferPool(context.Background(), cfg, "NY")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"unijoin/internal/core"
@@ -22,7 +23,7 @@ import (
 //
 // All four produce identical pair sets (tested); the table shows what
 // they pay for it.
-func OneIndex(cfg Config, set string) (*Table, error) {
+func OneIndex(ctx context.Context, cfg Config, set string) (*Table, error) {
 	env, err := prepareOne(cfg, set)
 	if err != nil {
 		return nil, err
@@ -56,22 +57,22 @@ func OneIndex(cfg Config, set string) (*Table, error) {
 	}
 
 	o := env.Options()
-	res, err := core.PQ(o, core.TreeInput(env.RoadsTree), core.FileInput(env.HydroFile))
+	res, err := core.PQ(ctx, o, core.TreeInput(env.RoadsTree), core.FileInput(env.HydroFile))
 	if err := add("PQ (unified)", res, err); err != nil {
 		return nil, err
 	}
 	o = env.Options()
-	res, err = core.SeededTreeJoin(o, env.RoadsTree, env.HydroFile)
+	res, err = core.SeededTreeJoin(ctx, o, env.RoadsTree, env.HydroFile)
 	if err := add("Seeded tree + ST", res, err); err != nil {
 		return nil, err
 	}
 	o = env.Options()
-	res, err = core.INL(o, env.RoadsTree, env.HydroFile)
+	res, err = core.INL(ctx, o, env.RoadsTree, env.HydroFile)
 	if err := add("Indexed nested loop", res, err); err != nil {
 		return nil, err
 	}
 	o = env.Options()
-	res, err = core.SSSJ(o, env.RoadsFile, env.HydroFile)
+	res, err = core.SSSJ(ctx, o, env.RoadsFile, env.HydroFile)
 	if err := add("SSSJ (ignore index)", res, err); err != nil {
 		return nil, err
 	}
@@ -84,7 +85,7 @@ func OneIndex(cfg Config, set string) (*Table, error) {
 // "approximately the same CPU time as ST while performing an almost
 // optimal number of I/O operations": page requests at several pool
 // sizes, with the lower bound for reference.
-func BFRJCompare(cfg Config, set string) (*Table, error) {
+func BFRJCompare(ctx context.Context, cfg Config, set string) (*Table, error) {
 	env, err := prepareOne(cfg, set)
 	if err != nil {
 		return nil, err
@@ -102,13 +103,13 @@ func BFRJCompare(cfg Config, set string) (*Table, error) {
 		}
 		o := env.Options()
 		o.BufferPoolBytes = poolBytes
-		st, err := core.ST(o, env.RoadsTree, env.HydroTree)
+		st, err := core.ST(ctx, o, env.RoadsTree, env.HydroTree)
 		if err != nil {
 			return nil, err
 		}
 		o = env.Options()
 		o.BufferPoolBytes = poolBytes
-		bf, err := core.BFRJ(o, env.RoadsTree, env.HydroTree)
+		bf, err := core.BFRJ(ctx, o, env.RoadsTree, env.HydroTree)
 		if err != nil {
 			return nil, err
 		}

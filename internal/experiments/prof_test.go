@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"unijoin/internal/core"
@@ -18,7 +19,7 @@ func BenchmarkProfSSSJ(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := env.Options()
-		if _, err := core.SSSJ(o, env.RoadsFile, env.HydroFile); err != nil {
+		if _, err := core.SSSJ(context.Background(), o, env.RoadsFile, env.HydroFile); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -18,8 +19,8 @@ var IDs = []string{
 }
 
 // Run executes one experiment by id and prints its table to w.
-func Run(id string, cfg Config, w io.Writer) error {
-	t, err := RunTable(id, cfg)
+func Run(ctx context.Context, id string, cfg Config, w io.Writer) error {
+	t, err := RunTable(ctx, id, cfg)
 	if err != nil {
 		return err
 	}
@@ -28,40 +29,40 @@ func Run(id string, cfg Config, w io.Writer) error {
 }
 
 // RunTable builds the table for one experiment id.
-func RunTable(id string, cfg Config) (*Table, error) {
+func RunTable(ctx context.Context, id string, cfg Config) (*Table, error) {
 	switch id {
 	case "table1":
 		return Table1(), nil
 	case "table2":
-		return Table2(cfg)
+		return Table2(ctx, cfg)
 	case "table3":
-		return Table3(cfg)
+		return Table3(ctx, cfg)
 	case "table4":
-		return Table4(cfg)
+		return Table4(ctx, cfg)
 	case "fig2":
-		return Fig2(cfg)
+		return Fig2(ctx, cfg)
 	case "fig3":
-		return Fig3(cfg)
+		return Fig3(ctx, cfg)
 	case "sel":
-		return Selective(cfg, selSet(cfg))
+		return Selective(ctx, cfg, selSet(cfg))
 	case "oneindex":
-		return OneIndex(cfg, selSet(cfg))
+		return OneIndex(ctx, cfg, selSet(cfg))
 	case "bfrj":
-		return BFRJCompare(cfg, selSet(cfg))
+		return BFRJCompare(ctx, cfg, selSet(cfg))
 	case "abl-sweep":
-		return AblationSweep(cfg)
+		return AblationSweep(ctx, cfg)
 	case "abl-pool":
-		return AblationSTBufferPool(cfg, selSet(cfg))
+		return AblationSTBufferPool(ctx, cfg, selSet(cfg))
 	case "abl-pack":
-		return AblationPacking(cfg, selSet(cfg))
+		return AblationPacking(ctx, cfg, selSet(cfg))
 	case "abl-tiles":
-		return AblationPBSMTiles(cfg, selSet(cfg))
+		return AblationPBSMTiles(ctx, cfg, selSet(cfg))
 	case "abl-leafstream":
-		return AblationPQLeafStreaming(cfg, selSet(cfg))
+		return AblationPQLeafStreaming(ctx, cfg, selSet(cfg))
 	case "abl-layout":
-		return AblationLayout(cfg, selSet(cfg))
+		return AblationLayout(ctx, cfg, selSet(cfg))
 	case "wallclock":
-		return Wallclock(cfg, 0) // 0: scale to GOMAXPROCS
+		return Wallclock(ctx, cfg, 0) // 0: scale to GOMAXPROCS
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs)
 	}
@@ -77,9 +78,9 @@ func selSet(cfg Config) string {
 }
 
 // RunAll executes every experiment in order.
-func RunAll(cfg Config, w io.Writer) error {
+func RunAll(ctx context.Context, cfg Config, w io.Writer) error {
 	for _, id := range IDs {
-		if err := Run(id, cfg, w); err != nil {
+		if err := Run(ctx, id, cfg, w); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"unijoin/internal/core"
@@ -40,7 +41,7 @@ func rs(m iosim.Machine) float64 {
 // R-tree sizes, and join output cardinality — measured on the
 // synthetic sets next to the paper's values scaled by the configured
 // factor.
-func Table2(cfg Config) (*Table, error) {
+func Table2(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "table2",
 		Title: fmt.Sprintf("Data sets at scale %g (Table 2)", cfg.Tiger.Scale),
@@ -49,7 +50,7 @@ func Table2(cfg Config) (*Table, error) {
 	}
 	err := cfg.forEach(func(e *Env) error {
 		o := e.Options()
-		res, err := core.SSSJ(o, e.RoadsFile, e.HydroFile)
+		res, err := core.SSSJ(ctx, o, e.RoadsFile, e.HydroFile)
 		if err != nil {
 			return err
 		}
@@ -76,7 +77,7 @@ func Table2(cfg Config) (*Table, error) {
 // Table3 reproduces Table 3: the maximal memory usage of the PQ join —
 // priority queues plus leaf buffers, and the sweep structure —
 // verifying everything stays a tiny fraction of the data set.
-func Table3(cfg Config) (*Table, error) {
+func Table3(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "table3",
 		Title: "Maximal memory usage of the PQ join in MB (Table 3)",
@@ -85,7 +86,7 @@ func Table3(cfg Config) (*Table, error) {
 	}
 	err := cfg.forEach(func(e *Env) error {
 		o := e.Options()
-		res, err := core.PQ(o, core.TreeInput(e.RoadsTree), core.TreeInput(e.HydroTree))
+		res, err := core.PQ(ctx, o, core.TreeInput(e.RoadsTree), core.TreeInput(e.HydroTree))
 		if err != nil {
 			return err
 		}
@@ -109,7 +110,7 @@ func Table3(cfg Config) (*Table, error) {
 
 // Table4 reproduces Table 4: pages requested from disk while joining,
 // for PQ and ST, against the lower bound (the number of index pages).
-func Table4(cfg Config) (*Table, error) {
+func Table4(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "table4",
 		Title: "Pages requested during joining (Table 4)",
@@ -120,12 +121,12 @@ func Table4(cfg Config) (*Table, error) {
 		lower := int64(e.RoadsTree.NumNodes() + e.HydroTree.NumNodes())
 
 		o := e.Options()
-		pq, err := core.PQ(o, core.TreeInput(e.RoadsTree), core.TreeInput(e.HydroTree))
+		pq, err := core.PQ(ctx, o, core.TreeInput(e.RoadsTree), core.TreeInput(e.HydroTree))
 		if err != nil {
 			return err
 		}
 		o = e.Options()
-		st, err := core.ST(o, e.RoadsTree, e.HydroTree)
+		st, err := core.ST(ctx, o, e.RoadsTree, e.HydroTree)
 		if err != nil {
 			return err
 		}
@@ -149,17 +150,17 @@ func Table4(cfg Config) (*Table, error) {
 }
 
 // joinForFigure runs one algorithm on an env and returns the result.
-func joinForFigure(e *Env, alg string) (core.Result, error) {
+func joinForFigure(ctx context.Context, e *Env, alg string) (core.Result, error) {
 	o := e.Options()
 	switch alg {
 	case "SJ":
-		return core.SSSJ(o, e.RoadsFile, e.HydroFile)
+		return core.SSSJ(ctx, o, e.RoadsFile, e.HydroFile)
 	case "PB":
-		return core.PBSM(o, e.RoadsFile, e.HydroFile)
+		return core.PBSM(ctx, o, e.RoadsFile, e.HydroFile)
 	case "PQ":
-		return core.PQ(o, core.TreeInput(e.RoadsTree), core.TreeInput(e.HydroTree))
+		return core.PQ(ctx, o, core.TreeInput(e.RoadsTree), core.TreeInput(e.HydroTree))
 	case "ST":
-		return core.ST(o, e.RoadsTree, e.HydroTree)
+		return core.ST(ctx, o, e.RoadsTree, e.HydroTree)
 	default:
 		return core.Result{}, fmt.Errorf("unknown algorithm %q", alg)
 	}
@@ -169,7 +170,7 @@ func joinForFigure(e *Env, alg string) (core.Result, error) {
 // the two index-based algorithms on all three machines. Estimated
 // charges every page request the average read time; observed prices
 // sequential and random accesses separately.
-func Fig2(cfg Config) (*Table, error) {
+func Fig2(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "fig2",
 		Title: "Estimated vs observed cost of PQ and ST, seconds (Figure 2)",
@@ -183,7 +184,7 @@ func Fig2(cfg Config) (*Table, error) {
 	err := cfg.forEach(func(e *Env) error {
 		var cells []cell
 		for _, alg := range []string{"PQ", "ST"} {
-			res, err := joinForFigure(e, alg)
+			res, err := joinForFigure(ctx, e, alg)
 			if err != nil {
 				return err
 			}
@@ -210,7 +211,7 @@ func Fig2(cfg Config) (*Table, error) {
 
 // Fig3 reproduces Figure 3: observed total cost of all four algorithms
 // on all three machines.
-func Fig3(cfg Config) (*Table, error) {
+func Fig3(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "fig3",
 		Title:  "Observed join costs of all algorithms, seconds (Figure 3)",
@@ -223,7 +224,7 @@ func Fig3(cfg Config) (*Table, error) {
 	err := cfg.forEach(func(e *Env) error {
 		var cells []cell
 		for _, alg := range []string{"SJ", "PB", "PQ", "ST"} {
-			res, err := joinForFigure(e, alg)
+			res, err := joinForFigure(ctx, e, alg)
 			if err != nil {
 				return err
 			}
@@ -256,7 +257,7 @@ func storeReader(e *Env) rtree.StoreReader { return rtree.StoreReader{Store: e.S
 // threshold. For each fraction it reports the observed cost of the
 // windowed index join (PQ restricted) and the full sort join (SSSJ),
 // and what the planner would choose on Machine 1.
-func Selective(cfg Config, set string) (*Table, error) {
+func Selective(ctx context.Context, cfg Config, set string) (*Table, error) {
 	spec, err := tiger.SpecByName(set)
 	if err != nil {
 		return nil, err
@@ -294,7 +295,7 @@ func Selective(cfg Config, set string) (*Table, error) {
 		o := env.Options()
 		o.Window = &w
 		o.RestrictScanners = true
-		idx, err := core.PQ(o, core.TreeInput(env.RoadsTree), core.TreeInput(env.HydroTree))
+		idx, err := core.PQ(ctx, o, core.TreeInput(env.RoadsTree), core.TreeInput(env.HydroTree))
 		if err != nil {
 			return nil, err
 		}
@@ -302,7 +303,7 @@ func Selective(cfg Config, set string) (*Table, error) {
 		// point: it cannot exploit locality), sweeping only the window.
 		o = env.Options()
 		o.Window = &w
-		sj, err := sssjWindowed(o, env, w)
+		sj, err := sssjWindowed(ctx, o, env, w)
 		if err != nil {
 			return nil, err
 		}
@@ -337,8 +338,8 @@ func Selective(cfg Config, set string) (*Table, error) {
 // sssjWindowed runs SSSJ on the full relations — the sort path cannot
 // exploit the window's locality (the paper's point in §6.3), so it
 // pays the complete sort-and-sweep regardless of selectivity.
-func sssjWindowed(o core.Options, env *Env, w geom.Rect) (core.Result, error) {
+func sssjWindowed(ctx context.Context, o core.Options, env *Env, w geom.Rect) (core.Result, error) {
 	_ = w // semantics identical; only the reported pairs differ
 	o.Emit = nil
-	return core.SSSJ(o, env.RoadsFile, env.HydroFile)
+	return core.SSSJ(ctx, o, env.RoadsFile, env.HydroFile)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -53,11 +54,11 @@ func wallclockWorkloads(cfg Config) []struct {
 // bestOf runs one join configuration wallclockRepeats times and keeps
 // the fastest report, the same selection policy for the serial
 // baseline and every parallel row.
-func bestOf(join func(a, b []geom.Record, o parallel.Options) (parallel.Report, error),
+func bestOf(ctx context.Context, join func(ctx context.Context, a, b []geom.Record, o parallel.Options) (parallel.Report, error),
 	a, b []geom.Record, o parallel.Options) (parallel.Report, error) {
 	var best parallel.Report
 	for i := 0; i < wallclockRepeats; i++ {
-		rep, err := join(a, b, o)
+		rep, err := join(ctx, a, b, o)
 		if err != nil {
 			return parallel.Report{}, err
 		}
@@ -74,7 +75,7 @@ func bestOf(join func(a, b []geom.Record, o parallel.Options) (parallel.Report, 
 // workers up to maxWorkers, on a uniform and a TIGER-like workload.
 // Speedups are relative to the serial baseline of the same workload;
 // pair counts are cross-checked against it.
-func Wallclock(cfg Config, maxWorkers int) (*Table, error) {
+func Wallclock(ctx context.Context, cfg Config, maxWorkers int) (*Table, error) {
 	if maxWorkers < 1 {
 		maxWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -86,8 +87,8 @@ func Wallclock(cfg Config, maxWorkers int) (*Table, error) {
 			"Wall ms", "Sweep ms", "Pairs", "Repl", "Speedup"},
 	}
 	for _, wl := range wallclockWorkloads(cfg) {
-		o := parallel.Options{Universe: wl.Universe}
-		serial, err := bestOf(parallel.Serial, wl.A, wl.B, o)
+		o := parallel.Options{Universe: wl.Universe, Window: cfg.Window}
+		serial, err := bestOf(ctx, parallel.Serial, wl.A, wl.B, o)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +98,7 @@ func Wallclock(cfg Config, maxWorkers int) (*Table, error) {
 			fmt.Sprintf("%d", serial.Pairs), "1.000", "1.00")
 		for _, workers := range workerLadder(maxWorkers) {
 			o.Workers = workers
-			rep, err := bestOf(parallel.Join, wl.A, wl.B, o)
+			rep, err := bestOf(ctx, parallel.Join, wl.A, wl.B, o)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,81 @@
+// Package pairbuf pools the []geom.Pair batch buffers behind the
+// EmitBatch fast path. Joins that report results in batches (the
+// serial algorithms' batcher, the parallel engine's per-partition
+// output buffers) borrow buffers here instead of allocating one per
+// join or per partition, so a long-lived process — the query service
+// the ROADMAP targets — reaches a steady state with no per-query
+// buffer garbage.
+package pairbuf
+
+import (
+	"sync"
+
+	"unijoin/internal/geom"
+)
+
+// BatchSize is the capacity of a fresh buffer and the flush threshold
+// used by batching emitters: large enough to amortize the callback
+// indirection over thousands of pairs, small enough (64 KB of pairs)
+// to stay cache- and pool-friendly.
+const BatchSize = 8192
+
+var pool = sync.Pool{
+	New: func() any {
+		buf := make([]geom.Pair, 0, BatchSize)
+		return &buf
+	},
+}
+
+// Get borrows an empty buffer with at least BatchSize capacity.
+func Get() []geom.Pair {
+	return (*pool.Get().(*[]geom.Pair))[:0]
+}
+
+// Put returns a buffer to the pool. Buffers that joins grew past
+// BatchSize are returned as-is (their larger capacity is reused);
+// callers must not touch the slice after Put.
+func Put(buf []geom.Pair) {
+	if cap(buf) < BatchSize {
+		return
+	}
+	buf = buf[:0]
+	pool.Put(&buf)
+}
+
+// Batcher accumulates pairs into a pooled buffer and hands full
+// batches to an EmitBatch-style callback — the shared emit machinery
+// of the serial algorithms and the parallel engine's Serial baseline.
+// The slice passed to fn is reused after fn returns.
+type Batcher struct {
+	fn  func([]geom.Pair)
+	buf []geom.Pair
+}
+
+// NewBatcher borrows a pooled buffer for batching into fn.
+func NewBatcher(fn func([]geom.Pair)) *Batcher {
+	return &Batcher{fn: fn, buf: Get()}
+}
+
+// Emit adds one pair, flushing when the buffer fills.
+func (b *Batcher) Emit(p geom.Pair) {
+	b.buf = append(b.buf, p)
+	if len(b.buf) == cap(b.buf) {
+		b.Flush()
+	}
+}
+
+// Flush delivers any buffered pairs to the callback.
+func (b *Batcher) Flush() {
+	if len(b.buf) > 0 {
+		b.fn(b.buf)
+		b.buf = b.buf[:0]
+	}
+}
+
+// Release returns the buffer to the pool; the Batcher must not be
+// used afterwards. Callers flush first on success paths (an errored
+// join drops its unflushed tail).
+func (b *Batcher) Release() {
+	Put(b.buf)
+	b.buf = nil
+}

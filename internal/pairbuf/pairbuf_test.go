@@ -1,0 +1,37 @@
+package pairbuf
+
+import (
+	"testing"
+
+	"unijoin/internal/geom"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get()
+	if len(b) != 0 || cap(b) < BatchSize {
+		t.Fatalf("fresh buffer: len %d cap %d", len(b), cap(b))
+	}
+	b = append(b, geom.Pair{Left: 1, Right: 2})
+	Put(b)
+	b2 := Get()
+	if len(b2) != 0 {
+		t.Fatalf("reused buffer not reset: len %d", len(b2))
+	}
+}
+
+func TestPutRejectsUndersized(t *testing.T) {
+	Put(make([]geom.Pair, 0, 4)) // must not enter the pool
+	b := Get()
+	if cap(b) < BatchSize {
+		t.Fatalf("pool handed out an undersized buffer: cap %d", cap(b))
+	}
+}
+
+func TestGrownBuffersAreKept(t *testing.T) {
+	b := make([]geom.Pair, 0, 4*BatchSize)
+	Put(b)
+	// Whatever Get returns next must satisfy the capacity contract.
+	if got := Get(); cap(got) < BatchSize {
+		t.Fatalf("cap %d < BatchSize", cap(got))
+	}
+}

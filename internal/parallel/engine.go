@@ -1,12 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"unijoin/internal/geom"
+	"unijoin/internal/pairbuf"
 	"unijoin/internal/sweep"
 )
 
@@ -15,9 +16,20 @@ import (
 // sorted and are not modified; each result pair is produced exactly
 // once (left component from a), regardless of how many stripes the
 // pair's rectangles were replicated into.
-func Join(a, b []geom.Record, o Options) (Report, error) {
+//
+// The worker pool drains a partition channel and selects on
+// ctx.Done(), so canceling the context stops every worker at its next
+// partition boundary (and, through the sweep kernel's periodic
+// checks, mid-partition too); Join then returns ctx's error.
+func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o, err := o.withDefaults()
 	if err != nil {
+		return Report{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
 	start := time.Now()
@@ -46,15 +58,19 @@ func Join(a, b []geom.Record, o Options) (Report, error) {
 	}
 	rep.PartitionWall = time.Since(start)
 
-	// The parallel phase. Workers drain partitions dynamically via the
-	// shared counter; every per-partition and per-worker slot is owned
-	// by exactly one goroutine, so the collection needs no locks.
-	collect := o.Emit != nil
+	// The parallel phase. Workers drain the partition channel and
+	// select on cancellation; every per-partition and per-worker slot
+	// is owned by exactly one goroutine, so the collection needs no
+	// locks.
+	collect := o.Emit != nil || o.EmitBatch != nil
 	buffers := make([][]geom.Pair, k)
 	partStats := make([]sweep.Stats, k)
 	rep.PerWorker = make([]WorkerStats, rep.Workers)
-	var next atomic.Int64
-	var failed atomic.Bool
+	work := make(chan int, k)
+	for i := 0; i < k; i++ {
+		work <- i
+	}
+	close(work)
 	errs := make(chan error, rep.Workers)
 
 	sweepStart := time.Now()
@@ -63,16 +79,21 @@ func Join(a, b []geom.Record, o Options) (Report, error) {
 		wg.Add(1)
 		go func(ws *WorkerStats) {
 			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= k {
+			for {
+				var i int
+				var ok bool
+				select {
+				case <-ctx.Done():
 					return
+				case i, ok = <-work:
+					if !ok {
+						return
+					}
 				}
 				t0 := time.Now()
-				pairs, err := sweepPartition(part, i, bucketsA[i], bucketsB[i], o,
+				pairs, err := sweepPartition(ctx, part, i, bucketsA[i], bucketsB[i], o,
 					&partStats[i], &buffers[i], collect)
 				if err != nil {
-					failed.Store(true)
 					errs <- err
 					return
 				}
@@ -85,10 +106,23 @@ func Join(a, b []geom.Record, o Options) (Report, error) {
 	}
 	wg.Wait()
 	rep.SweepWall = time.Since(sweepStart)
+	releaseBuffers := func() {
+		for i, buf := range buffers {
+			if buf != nil {
+				pairbuf.Put(buf)
+				buffers[i] = nil
+			}
+		}
+	}
 	select {
 	case err := <-errs:
+		releaseBuffers()
 		return Report{}, err
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		releaseBuffers()
+		return Report{}, err
 	}
 
 	for _, ws := range rep.PerWorker {
@@ -105,10 +139,22 @@ func Join(a, b []geom.Record, o Options) (Report, error) {
 		}
 	}
 	if collect {
-		for _, buf := range buffers {
-			for _, p := range buf {
-				o.Emit(p)
+		// Replay in deterministic partition order on the caller's
+		// goroutine. The batch path hands each partition's pooled
+		// buffer to the callback whole — one indirect call per
+		// partition instead of one per pair — then recycles it.
+		for i, buf := range buffers {
+			if o.EmitBatch != nil {
+				if len(buf) > 0 {
+					o.EmitBatch(buf)
+				}
+			} else {
+				for _, p := range buf {
+					o.Emit(p)
+				}
 			}
+			pairbuf.Put(buf)
+			buffers[i] = nil
 		}
 	}
 	rep.Wall = time.Since(start)
@@ -118,8 +164,9 @@ func Join(a, b []geom.Record, o Options) (Report, error) {
 // sweepPartition sorts one partition's buckets and sweeps them,
 // counting only the pairs this partition owns. It mutates the buckets
 // in place (they are private to the partition) and fills the
-// partition's stat and buffer slots.
-func sweepPartition(part *Partitioner, i int, ra, rb []geom.Record, o Options,
+// partition's stat and buffer slots; with collect set, the output
+// buffer is borrowed from the pairbuf pool.
+func sweepPartition(ctx context.Context, part *Partitioner, i int, ra, rb []geom.Record, o Options,
 	stats *sweep.Stats, buffer *[]geom.Pair, collect bool) (int64, error) {
 	sort.Slice(ra, func(x, y int) bool { return geom.ByLowerY(ra[x], ra[y]) < 0 })
 	sort.Slice(rb, func(x, y int) bool { return geom.ByLowerY(rb[x], rb[y]) < 0 })
@@ -127,7 +174,10 @@ func sweepPartition(part *Partitioner, i int, ra, rb []geom.Record, o Options,
 	ownLo, ownHi := part.OwnerRange(i)
 	var pairs int64
 	var buf []geom.Pair
-	st, err := sweep.Join(
+	if collect {
+		buf = pairbuf.Get()
+	}
+	st, err := sweep.Join(ctx,
 		sweep.NewSliceSource(ra), sweep.NewSliceSource(rb),
 		o.newStructure(stripe), o.newStructure(stripe),
 		func(x, y geom.Record) {
@@ -146,6 +196,7 @@ func sweepPartition(part *Partitioner, i int, ra, rb []geom.Record, o Options,
 			}
 		})
 	if err != nil {
+		pairbuf.Put(buf)
 		return 0, err
 	}
 	*stats = st
@@ -159,9 +210,15 @@ func sweepPartition(part *Partitioner, i int, ra, rb []geom.Record, o Options,
 // filtering, one sort of each side, and one plane sweep over the full
 // universe — SSSJ's kernel without the simulated disk. The inputs are
 // not modified; Emit (if set) is called in sweep order as pairs are
-// found.
-func Serial(a, b []geom.Record, o Options) (Report, error) {
+// found, and EmitBatch receives pooled batches in the same order.
+func Serial(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if _, err := o.withDefaults(); err != nil {
+		return Report{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
 	start := time.Now()
@@ -187,17 +244,28 @@ func Serial(a, b []geom.Record, o Options) (Report, error) {
 		}
 		return sweep.NewStripedFor(o.Universe, strips)
 	}
-	st, sweepErr := sweep.Join(
-		sweep.NewSliceSource(sa), sweep.NewSliceSource(sb), mk(), mk(),
-		func(x, y geom.Record) {
-			rep.Pairs++
-			if o.Emit != nil {
-				o.Emit(geom.Pair{Left: x.ID, Right: y.ID})
-			}
-		})
+	emit := o.Emit
+	var bt *pairbuf.Batcher
+	if o.EmitBatch != nil {
+		bt = pairbuf.NewBatcher(o.EmitBatch)
+		emit = bt.Emit
+	}
+	var sink func(x, y geom.Record)
+	if emit != nil {
+		sink = func(x, y geom.Record) { emit(geom.Pair{Left: x.ID, Right: y.ID}) }
+	}
+	st, sweepErr := sweep.Join(ctx,
+		sweep.NewSliceSource(sa), sweep.NewSliceSource(sb), mk(), mk(), sink)
+	if bt != nil {
+		if sweepErr == nil {
+			bt.Flush()
+		}
+		bt.Release()
+	}
 	if sweepErr != nil {
 		return Report{}, sweepErr
 	}
+	rep.Pairs = st.Pairs
 	rep.Sweep = st
 	rep.SweepWall = time.Since(sweepStart)
 	rep.Wall = time.Since(start)

@@ -29,10 +29,15 @@
 //     partition is sorted by lower y and swept with the same
 //     Striped-/Forward-Sweep structures the serial algorithms use.
 //   - Results are collected without locks: each worker owns a counter
-//     shard and each partition owns an output buffer, merged after the
-//     pool drains. With Options.Emit set, pairs are replayed to the
-//     callback in deterministic partition-then-sweep order on the
-//     calling goroutine, so callbacks need not be thread-safe.
+//     shard and each partition owns a pooled output buffer, merged
+//     after the pool drains. With Options.Emit (or the batched
+//     Options.EmitBatch) set, pairs are replayed to the callback in
+//     deterministic partition-then-sweep order on the calling
+//     goroutine, so callbacks need not be thread-safe.
+//   - Both entry points take a context.Context: workers select on
+//     ctx.Done() between partitions and the sweep kernel polls it
+//     within one, so a canceled query stops promptly and returns the
+//     context's error.
 //
 // The entry points are Join (parallel) and Serial (the single-threaded
 // sort-and-sweep over the same records, the wall-clock baseline the
@@ -90,12 +95,22 @@ type Options struct {
 	// memory proportional to the output, so leave Emit nil when only
 	// counts are needed.
 	Emit func(geom.Pair)
+	// EmitBatch is the batched alternative to Emit: it receives the
+	// result pairs as slices (each partition's pooled output buffer in
+	// Join, pairbuf.BatchSize batches in Serial), in the same
+	// deterministic order on the calling goroutine. The slice is
+	// recycled after the call returns, so callers must copy pairs they
+	// retain. At most one of Emit and EmitBatch may be set.
+	EmitBatch func([]geom.Pair)
 }
 
 // withDefaults validates and fills in defaults.
 func (o Options) withDefaults() (Options, error) {
 	if !o.Universe.Valid() {
 		return o, fmt.Errorf("parallel: Options.Universe %v is invalid", o.Universe)
+	}
+	if o.Emit != nil && o.EmitBatch != nil {
+		return o, fmt.Errorf("parallel: Options.Emit and Options.EmitBatch are mutually exclusive")
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)

@@ -1,8 +1,11 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"unijoin/internal/datagen"
 	"unijoin/internal/geom"
@@ -38,7 +41,7 @@ func collectPairs(t *testing.T, a, b []geom.Record, o Options) (Report, map[geom
 		}
 		got[p] = true
 	}
-	rep, err := Join(a, b, o)
+	rep, err := Join(context.Background(), a, b, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +85,7 @@ func TestJoinMatchesBruteForce(t *testing.T) {
 func TestJoinMatchesSerial(t *testing.T) {
 	a, b := clustered(42, 1200, 800)
 	o := Options{Universe: universe}
-	serial, err := Serial(a, b, o)
+	serial, err := Serial(context.Background(), a, b, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +93,7 @@ func TestJoinMatchesSerial(t *testing.T) {
 		o.UseForwardSweep = forward
 		o.Workers = 3
 		o.Partitions = 11
-		rep, err := Join(a, b, o)
+		rep, err := Join(context.Background(), a, b, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,14 +119,14 @@ func TestWindowSemantics(t *testing.T) {
 			}
 		}
 	}
-	rep, err := Join(a, b, Options{Universe: universe, Partitions: 6, Workers: 2, Window: &w})
+	rep, err := Join(context.Background(), a, b, Options{Universe: universe, Partitions: 6, Workers: 2, Window: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Pairs != int64(want) {
 		t.Fatalf("windowed pairs = %d, want %d", rep.Pairs, want)
 	}
-	srep, err := Serial(a, b, Options{Universe: universe, Window: &w})
+	srep, err := Serial(context.Background(), a, b, Options{Universe: universe, Window: &w})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +139,7 @@ func TestEmitOrderDeterministic(t *testing.T) {
 	a, b := clustered(9, 800, 500)
 	runOnce := func(workers int) []geom.Pair {
 		var out []geom.Pair
-		_, err := Join(a, b, Options{
+		_, err := Join(context.Background(), a, b, Options{
 			Universe: universe, Workers: workers, Partitions: 8,
 			Emit: func(p geom.Pair) { out = append(out, p) },
 		})
@@ -158,7 +161,7 @@ func TestEmitOrderDeterministic(t *testing.T) {
 
 func TestReportAccounting(t *testing.T) {
 	a, b := clustered(11, 1000, 600)
-	rep, err := Join(a, b, Options{Universe: universe, Workers: 4, Partitions: 12})
+	rep, err := Join(context.Background(), a, b, Options{Universe: universe, Workers: 4, Partitions: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,13 +244,13 @@ func TestPartitionerBalance(t *testing.T) {
 }
 
 func TestDegenerateInputs(t *testing.T) {
-	if _, err := Join(nil, nil, Options{Universe: geom.EmptyRect()}); err == nil {
+	if _, err := Join(context.Background(), nil, nil, Options{Universe: geom.EmptyRect()}); err == nil {
 		t.Fatal("invalid universe must error")
 	}
-	if _, err := Serial(nil, nil, Options{Universe: geom.EmptyRect()}); err == nil {
+	if _, err := Serial(context.Background(), nil, nil, Options{Universe: geom.EmptyRect()}); err == nil {
 		t.Fatal("invalid universe must error in Serial")
 	}
-	rep, err := Join(nil, nil, Options{Universe: universe})
+	rep, err := Join(context.Background(), nil, nil, Options{Universe: universe})
 	if err != nil || rep.Pairs != 0 {
 		t.Fatalf("empty join: %v pairs %d", err, rep.Pairs)
 	}
@@ -255,13 +258,13 @@ func TestDegenerateInputs(t *testing.T) {
 	// quantiles) still joins correctly.
 	a := []geom.Record{{Rect: geom.NewRect(5, 5, 6, 6), ID: 1}}
 	b := []geom.Record{{Rect: geom.NewRect(5.5, 5.5, 7, 7), ID: 2}}
-	rep, err = Join(a, b, Options{Universe: universe, Partitions: 16})
+	rep, err = Join(context.Background(), a, b, Options{Universe: universe, Partitions: 16})
 	if err != nil || rep.Pairs != 1 {
 		t.Fatalf("tiny join: %v pairs %d", err, rep.Pairs)
 	}
 	// Records outside the universe are clamped into boundary stripes.
 	out := []geom.Record{{Rect: geom.NewRect(-500, -500, -400, -400), ID: 3}}
-	rep, err = Join(out, out, Options{Universe: universe, Partitions: 4})
+	rep, err = Join(context.Background(), out, out, Options{Universe: universe, Partitions: 4})
 	if err != nil || rep.Pairs != 1 {
 		t.Fatalf("outside-universe join: %v pairs %d", err, rep.Pairs)
 	}
@@ -310,11 +313,98 @@ func TestPartitionerDegenerateUniverse(t *testing.T) {
 		{Rect: geom.NewRect(5, 1, 5, 3), ID: 3},
 		{Rect: geom.NewRect(5, 2, 5, 4), ID: 4},
 	}
-	rep, err := Join(recs, recs, Options{Universe: line, Partitions: 4})
+	rep, err := Join(context.Background(), recs, recs, Options{Universe: line, Partitions: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := int64(len(brute(recs, recs))); rep.Pairs != want {
 		t.Fatalf("degenerate join pairs = %d, want %d", rep.Pairs, want)
+	}
+}
+
+func TestEmitBatchMatchesEmit(t *testing.T) {
+	a, b := clustered(31, 1000, 700)
+	o := Options{Universe: universe, Workers: 3, Partitions: 9}
+	_, viaEmit := collectPairs(t, a, b, o)
+
+	for name, join := range map[string]func(context.Context, []geom.Record, []geom.Record, Options) (Report, error){
+		"parallel": Join, "serial": Serial,
+	} {
+		got := map[geom.Pair]bool{}
+		var batches int
+		ob := o
+		ob.EmitBatch = func(ps []geom.Pair) {
+			batches++
+			for _, p := range ps {
+				if got[p] {
+					t.Fatalf("%s: batch duplicated %v", name, p)
+				}
+				got[p] = true
+			}
+		}
+		rep, err := join(context.Background(), a, b, ob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(viaEmit) || rep.Pairs != int64(len(viaEmit)) {
+			t.Fatalf("%s: EmitBatch delivered %d pairs, Emit %d", name, len(got), len(viaEmit))
+		}
+		for p := range viaEmit {
+			if !got[p] {
+				t.Fatalf("%s: missing %v", name, p)
+			}
+		}
+		if batches == 0 {
+			t.Fatalf("%s: no batches delivered", name)
+		}
+	}
+}
+
+func TestEmitAndEmitBatchExclusive(t *testing.T) {
+	o := Options{
+		Universe:  universe,
+		Emit:      func(geom.Pair) {},
+		EmitBatch: func([]geom.Pair) {},
+	}
+	if _, err := Join(context.Background(), nil, nil, o); err == nil {
+		t.Fatal("Emit+EmitBatch must be rejected")
+	}
+	if _, err := Serial(context.Background(), nil, nil, o); err == nil {
+		t.Fatal("Emit+EmitBatch must be rejected by Serial")
+	}
+}
+
+func TestJoinCanceledBeforeStart(t *testing.T) {
+	a, b := clustered(33, 500, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Join(ctx, a, b, Options{Universe: universe}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Join err = %v, want context.Canceled", err)
+	}
+	if _, err := Serial(ctx, a, b, Options{Universe: universe}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Serial err = %v, want context.Canceled", err)
+	}
+}
+
+func TestJoinCancelMidRun(t *testing.T) {
+	// A workload large enough that a cancel a few milliseconds in lands
+	// mid-sweep; the worker pool's select and the kernel's periodic
+	// checks must stop the join. Run under -race in CI, this also
+	// proves the cancellation path is race-free.
+	big := geom.NewRect(0, 0, 100_000, 100_000)
+	a := datagen.Uniform(41, 120_000, big, 40)
+	b := datagen.Uniform(42, 120_000, big, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	_, err := Join(ctx, a, b, Options{Universe: big, Workers: 4})
+	cancel()
+	if err == nil {
+		t.Skip("join outran the cancel on this host")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -20,13 +20,24 @@
 // The Join kernel consumes two y-sorted record sources — sorted files
 // (SSSJ), R-tree extraction adapters (PQ), or in-memory slices (node
 // joins in ST, partitions in PBSM all use the structures directly.)
+//
+// Join is context-aware: it polls ctx.Err() every checkInterval
+// records so a canceled or timed-out query stops mid-sweep instead of
+// running to completion.
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"unijoin/internal/geom"
 )
+
+// checkInterval is how many records the kernel processes between
+// context cancellation checks: frequent enough that cancellation is
+// prompt (a few microseconds of work per window), rare enough that the
+// check never shows up in profiles. It must be a power of two.
+const checkInterval = 1024
 
 // Source yields records in nondecreasing lower-y order. It is
 // satisfied by *stream.Reader[geom.Record] and by rtree.SortedScanner.
@@ -69,9 +80,17 @@ type Stats struct {
 // as the active sets for a and b respectively, and calls emit for every
 // intersecting pair (ra from a, rb from b). It returns sweep statistics.
 //
-// Join fails if either source yields records out of y-order, since a
-// silent ordering bug would produce silently missing pairs.
-func Join(a, b Source, sa, sb Structure, emit func(ra, rb geom.Record)) (Stats, error) {
+// A nil emit is the counting-only fast path: pairs are tallied in
+// Stats.Pairs with no per-pair callback at all, matching the paper's
+// cost accounting (which excludes output reporting). The hit callbacks
+// handed to the structures are allocated once per Join, not once per
+// record, so the kernel's emit path does no per-record allocation.
+//
+// Join polls ctx between records (every checkInterval) and returns
+// ctx.Err() when the context is canceled; a nil ctx disables the
+// checks. Join fails if either source yields records out of y-order,
+// since a silent ordering bug would produce silently missing pairs.
+func Join(ctx context.Context, a, b Source, sa, sb Structure, emit func(ra, rb geom.Record)) (Stats, error) {
 	var st Stats
 	sa.Reset()
 	sb.Reset()
@@ -87,6 +106,26 @@ func Join(a, b Source, sa, sb Structure, emit func(ra, rb geom.Record)) (Stats, 
 	var lastY geom.Coord
 	haveLast := false
 
+	// The hit callbacks close over cur/curIsA instead of the loop
+	// body's per-iteration record, so they are allocated exactly once;
+	// the earlier per-record closures dominated the join's allocation
+	// profile (~1 per record).
+	var cur geom.Record
+	var curIsA bool
+	var onHit func(geom.Record)
+	if emit == nil {
+		onHit = func(geom.Record) { st.Pairs++ }
+	} else {
+		onHit = func(other geom.Record) {
+			st.Pairs++
+			if curIsA {
+				emit(cur, other)
+			} else {
+				emit(other, cur)
+			}
+		}
+	}
+
 	note := func() {
 		if l := sa.Len() + sb.Len(); l > st.MaxLen {
 			st.MaxLen = l
@@ -96,12 +135,19 @@ func Join(a, b Source, sa, sb Structure, emit func(ra, rb geom.Record)) (Stats, 
 		}
 	}
 
+	var processed int64
 	for okA || okB {
+		if processed&(checkInterval-1) == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+		}
+		processed++
+
 		// Advance the side with the lower bottom edge; ties go to a so
 		// that coincident edges still meet in the structures.
-		useA := okA && (!okB || ra.Rect.YLo <= rb.Rect.YLo)
-		var cur geom.Record
-		if useA {
+		curIsA = okA && (!okB || ra.Rect.YLo <= rb.Rect.YLo)
+		if curIsA {
 			cur = ra
 		} else {
 			cur = rb
@@ -112,18 +158,12 @@ func Join(a, b Source, sa, sb Structure, emit func(ra, rb geom.Record)) (Stats, 
 		lastY = cur.Rect.YLo
 		haveLast = true
 
-		if useA {
-			sb.QueryExpire(cur, func(other geom.Record) {
-				st.Pairs++
-				emit(cur, other)
-			})
+		if curIsA {
+			sb.QueryExpire(cur, onHit)
 			sa.Insert(cur)
 			ra, okA, err = a.Next()
 		} else {
-			sa.QueryExpire(cur, func(other geom.Record) {
-				st.Pairs++
-				emit(other, cur)
-			})
+			sa.QueryExpire(cur, onHit)
 			sb.Insert(cur)
 			rb, okB, err = b.Next()
 		}
@@ -160,6 +200,6 @@ func (s *SliceSource) Next() (geom.Record, bool, error) {
 
 // JoinSlices is a convenience wrapper joining two y-sorted slices with
 // fresh structures from the given constructor.
-func JoinSlices(a, b []geom.Record, mk func() Structure, emit func(ra, rb geom.Record)) (Stats, error) {
-	return Join(NewSliceSource(a), NewSliceSource(b), mk(), mk(), emit)
+func JoinSlices(ctx context.Context, a, b []geom.Record, mk func() Structure, emit func(ra, rb geom.Record)) (Stats, error) {
+	return Join(ctx, NewSliceSource(a), NewSliceSource(b), mk(), mk(), emit)
 }

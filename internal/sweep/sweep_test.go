@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -46,7 +47,7 @@ func bruteForce(a, b []geom.Record) map[geom.Pair]bool {
 func collectJoin(t *testing.T, a, b []geom.Record, mk func() Structure) (map[geom.Pair]bool, Stats) {
 	t.Helper()
 	got := make(map[geom.Pair]bool)
-	stats, err := JoinSlices(a, b, mk, func(ra, rb geom.Record) {
+	stats, err := JoinSlices(context.Background(), a, b, mk, func(ra, rb geom.Record) {
 		p := geom.Pair{Left: ra.ID, Right: rb.ID}
 		if got[p] {
 			t.Fatalf("duplicate pair %v", p)
@@ -103,7 +104,7 @@ func TestJoinPropertyRandomWorkloads(t *testing.T) {
 		for _, mk := range structures(universe) {
 			got := make(map[geom.Pair]bool)
 			dup := false
-			_, err := JoinSlices(a, b, mk, func(ra, rb geom.Record) {
+			_, err := JoinSlices(context.Background(), a, b, mk, func(ra, rb geom.Record) {
 				p := geom.Pair{Left: ra.ID, Right: rb.ID}
 				if got[p] {
 					dup = true
@@ -153,7 +154,7 @@ func TestJoinDetectsUnsortedInput(t *testing.T) {
 		{Rect: geom.NewRect(0, 1, 1, 2), ID: 2}, // out of order
 	}
 	b := []geom.Record{{Rect: geom.NewRect(0, 0, 10, 10), ID: 3}}
-	_, err := JoinSlices(a, b, func() Structure { return NewForward() }, func(_, _ geom.Record) {})
+	_, err := JoinSlices(context.Background(), a, b, func() Structure { return NewForward() }, func(_, _ geom.Record) {})
 	if err == nil {
 		t.Fatal("unsorted input must be rejected")
 	}
@@ -305,5 +306,45 @@ func TestIdenticalRectanglesManyTies(t *testing.T) {
 				t.Fatalf("got %d pairs, want 1600", len(got))
 			}
 		})
+	}
+}
+
+func TestJoinCanceledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := genRects(rng, 500, 1000, 60, 0)
+	b := genRects(rng, 500, 1000, 60, 10000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := JoinSlices(ctx, a, b, func() Structure { return NewForward() }, nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestJoinNilEmitCountsOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := genRects(rng, 400, 1000, 60, 0)
+	b := genRects(rng, 400, 1000, 60, 10000)
+	want := bruteForce(a, b)
+	st, err := JoinSlices(context.Background(), a, b,
+		func() Structure { return NewForward() }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != int64(len(want)) {
+		t.Fatalf("counting-only kernel found %d pairs, want %d", st.Pairs, len(want))
+	}
+}
+
+func TestJoinNilContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := genRects(rng, 50, 100, 20, 0)
+	b := genRects(rng, 50, 100, 20, 1000)
+	st, err := JoinSlices(nil, a, b, func() Structure { return NewForward() }, nil) //nolint:staticcheck // nil ctx is part of the contract
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != int64(len(bruteForce(a, b))) {
+		t.Fatal("nil context must behave like Background")
 	}
 }

@@ -1,6 +1,7 @@
 package tiger
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestOutputCardinalityNearTable2(t *testing.T) {
 		sort.Slice(roads, func(i, j int) bool { return geom.ByLowerY(roads[i], roads[j]) < 0 })
 		sort.Slice(hydro, func(i, j int) bool { return geom.ByLowerY(hydro[i], hydro[j]) < 0 })
 		var pairs float64
-		_, err := sweep.JoinSlices(roads, hydro, func() sweep.Structure {
+		_, err := sweep.JoinSlices(context.Background(), roads, hydro, func() sweep.Structure {
 			return sweep.NewStripedFor(s.Region, sweep.DefaultStrips)
 		}, func(_, _ geom.Record) { pairs++ })
 		if err != nil {
@@ -153,7 +154,7 @@ func TestSquareRootRuleHolds(t *testing.T) {
 	roads, hydro := cfg.Generate(NY)
 	sort.Slice(roads, func(i, j int) bool { return geom.ByLowerY(roads[i], roads[j]) < 0 })
 	sort.Slice(hydro, func(i, j int) bool { return geom.ByLowerY(hydro[i], hydro[j]) < 0 })
-	stats, err := sweep.JoinSlices(roads, hydro, func() sweep.Structure {
+	stats, err := sweep.JoinSlices(context.Background(), roads, hydro, func() sweep.Structure {
 		return sweep.NewStripedFor(NY.Region, sweep.DefaultStrips)
 	}, func(_, _ geom.Record) {})
 	if err != nil {

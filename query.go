@@ -1,0 +1,280 @@
+package unijoin
+
+import (
+	"context"
+	"fmt"
+
+	"unijoin/internal/core"
+	"unijoin/internal/parallel"
+	"unijoin/internal/stream"
+)
+
+// Query is a composable spatial join: a pair of relations plus the
+// knobs that shape the run. Build one with Workspace.Query, configure
+// it with chained builder methods (or the equivalent With* functional
+// options), and execute it with Run:
+//
+//	res, err := ws.Query(roads, hydro).
+//		Algorithm(unijoin.AlgPQ).
+//		Window(r).
+//		Run(ctx)
+//
+// A Query value is single-shot and not safe for concurrent use; build
+// a fresh one per run. The zero algorithm is AlgPQ, the paper's
+// unified join.
+type Query struct {
+	ws        *Workspace
+	a, b      *Relation
+	alg       Algorithm
+	opts      JoinOptions
+	countOnly bool
+}
+
+// Query starts a join of a and b on the workspace. Options may be
+// supplied here (the one-shot style), added with With via functional
+// options, or set with the chainable builder methods — all three
+// spellings configure the same Query.
+func (w *Workspace) Query(a, b *Relation, opts ...Option) *Query {
+	q := &Query{ws: w, a: a, b: b, alg: AlgPQ}
+	return q.With(opts...)
+}
+
+// With applies functional options to the query.
+func (q *Query) With(opts ...Option) *Query {
+	for _, opt := range opts {
+		opt(q)
+	}
+	return q
+}
+
+// Algorithm selects the join strategy (default AlgPQ).
+func (q *Query) Algorithm(alg Algorithm) *Query { q.alg = alg; return q }
+
+// Window restricts the join to pairs of records that both intersect r.
+func (q *Query) Window(r Rect) *Query { q.opts.Window = &r; return q }
+
+// Parallelism sets the worker count for AlgParallel (default
+// GOMAXPROCS). Other algorithms ignore it.
+func (q *Query) Parallelism(n int) *Query { q.opts.Parallelism = n; return q }
+
+// Partitions overrides the parallel engine's stripe count.
+func (q *Query) Partitions(n int) *Query { q.opts.ParallelPartitions = n; return q }
+
+// Memory sets the simulated internal-memory budget in bytes.
+func (q *Query) Memory(bytes int) *Query { q.opts.MemoryBytes = bytes; return q }
+
+// BufferPool sets ST's LRU buffer pool size in bytes.
+func (q *Query) BufferPool(bytes int) *Query { q.opts.BufferPoolBytes = bytes; return q }
+
+// Machine selects the simulated platform AlgAuto's cost model plans
+// for (default Machine3).
+func (q *Query) Machine(m Machine) *Query { q.opts.Machine = m; return q }
+
+// ForwardSweep switches the sweep kernel to the Forward-Sweep
+// structure (the ablation of the paper's Striped-Sweep).
+func (q *Query) ForwardSweep() *Query { q.opts.UseForwardSweep = true; return q }
+
+// PBSMTiles overrides PBSM's tile grid resolution (default 128).
+func (q *Query) PBSMTiles(n int) *Query { q.opts.PBSMTilesPerAxis = n; return q }
+
+// Emit streams each result pair to fn as (or, for AlgParallel, after)
+// it is found. A query with an Emit callback does not buffer pairs,
+// so Results.Pairs yields nothing.
+func (q *Query) Emit(fn func(Pair)) *Query { q.opts.Emit = fn; return q }
+
+// EmitBatch streams result pairs to fn in pooled batches — the fast
+// path that amortizes the per-pair callback indirection over
+// thousands of pairs. The slice is reused after fn returns; copy
+// pairs that must outlive the call. Mutually exclusive with Emit.
+func (q *Query) EmitBatch(fn func([]Pair)) *Query { q.opts.EmitBatch = fn; return q }
+
+// CountOnly disables the default buffering of result pairs for
+// Results.Pairs, keeping only the accounting — the paper's own
+// methodology (its cost model excludes output writing) and the
+// cheapest mode: the sweep kernel counts matches with no per-pair
+// callback at all. It is a no-op when an Emit or EmitBatch callback
+// is set (those queries already stream instead of buffering).
+func (q *Query) CountOnly() *Query { q.countOnly = true; return q }
+
+// Option is a functional query option, the one-shot spelling of the
+// builder methods: ws.Query(a, b, unijoin.WithWindow(r)).Run(ctx).
+type Option func(*Query)
+
+// WithAlgorithm selects the join strategy.
+func WithAlgorithm(alg Algorithm) Option { return func(q *Query) { q.Algorithm(alg) } }
+
+// WithWindow restricts the join to pairs intersecting r.
+func WithWindow(r Rect) Option { return func(q *Query) { q.Window(r) } }
+
+// WithParallelism sets the AlgParallel worker count.
+func WithParallelism(n int) Option { return func(q *Query) { q.Parallelism(n) } }
+
+// WithPartitions overrides the parallel engine's stripe count.
+func WithPartitions(n int) Option { return func(q *Query) { q.Partitions(n) } }
+
+// WithMemory sets the simulated internal-memory budget in bytes.
+func WithMemory(bytes int) Option { return func(q *Query) { q.Memory(bytes) } }
+
+// WithBufferPool sets ST's LRU buffer pool size in bytes.
+func WithBufferPool(bytes int) Option { return func(q *Query) { q.BufferPool(bytes) } }
+
+// WithMachine selects the platform for AlgAuto's cost model.
+func WithMachine(m Machine) Option { return func(q *Query) { q.Machine(m) } }
+
+// WithForwardSweep switches the kernel to the Forward-Sweep structure.
+func WithForwardSweep() Option { return func(q *Query) { q.ForwardSweep() } }
+
+// WithPBSMTiles overrides PBSM's tile grid resolution.
+func WithPBSMTiles(n int) Option { return func(q *Query) { q.PBSMTiles(n) } }
+
+// WithEmit streams each result pair to fn.
+func WithEmit(fn func(Pair)) Option { return func(q *Query) { q.Emit(fn) } }
+
+// WithEmitBatch streams result pairs to fn in pooled batches.
+func WithEmitBatch(fn func([]Pair)) Option { return func(q *Query) { q.EmitBatch(fn) } }
+
+// WithCountOnly drops result pairs, keeping only the accounting.
+func WithCountOnly() Option { return func(q *Query) { q.CountOnly() } }
+
+// Run executes the query under ctx and returns its Results. The
+// context is honored through every phase — sorting, partitioning,
+// index traversal, and the sweep loops poll it — so canceling ctx (or
+// hitting its deadline) aborts the join and returns an error matching
+// errors.Is(err, ErrCanceled).
+//
+// Result pairs go to exactly one place: the Emit callback, the
+// EmitBatch callback, nowhere (CountOnly), or — the default when none
+// of those was configured — an internal buffer exposed by
+// Results.Pairs.
+func (q *Query) Run(ctx context.Context) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if q.a == nil || q.b == nil {
+		return nil, fmt.Errorf("%w: Query needs two relations", ErrNilRelation)
+	}
+	if q.opts.Emit != nil && q.opts.EmitBatch != nil {
+		return nil, fmt.Errorf("unijoin: Emit and EmitBatch are mutually exclusive")
+	}
+
+	res := &Results{}
+	opts := q.opts
+	if !q.countOnly && opts.Emit == nil && opts.EmitBatch == nil {
+		// Default: collect pairs for Results.Pairs. Collection rides
+		// the batch path, so the per-pair cost is one append.
+		res.collected = true
+		opts.EmitBatch = func(batch []Pair) { res.pairs = append(res.pairs, batch...) }
+	}
+
+	jr, err := q.ws.dispatch(ctx, q.alg, q.a, q.b, &opts, res)
+	if err != nil {
+		return nil, err
+	}
+	res.JoinResult = jr
+	return res, nil
+}
+
+// dispatch runs one algorithm with fully-resolved options, filling
+// engine-specific extras (the parallel report) into res.
+func (w *Workspace) dispatch(ctx context.Context, alg Algorithm, a, b *Relation, opts *JoinOptions, res *Results) (JoinResult, error) {
+	o, err := w.coreOptions(a, b, opts)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	switch alg {
+	case AlgSSSJ:
+		r, err := core.SSSJ(ctx, o, a.file, b.file)
+		return JoinResult{Result: r}, err
+	case AlgPBSM:
+		r, err := core.PBSM(ctx, o, a.file, b.file)
+		return JoinResult{Result: r}, err
+	case AlgST:
+		if a.tree == nil || b.tree == nil {
+			return JoinResult{}, fmt.Errorf("%w: ST requires both relations indexed", ErrNeedsIndex)
+		}
+		r, err := core.ST(ctx, o, a.tree, b.tree)
+		return JoinResult{Result: r}, err
+	case AlgPQ:
+		r, err := core.PQ(ctx, o, a.input(), b.input())
+		return JoinResult{Result: r}, err
+	case AlgBFRJ:
+		if a.tree == nil || b.tree == nil {
+			return JoinResult{}, fmt.Errorf("%w: BFRJ requires both relations indexed", ErrNeedsIndex)
+		}
+		r, err := core.BFRJ(ctx, o, a.tree, b.tree)
+		return JoinResult{Result: r}, err
+	case AlgAuto:
+		m := Machine3
+		if opts.Machine.Name != "" {
+			m = opts.Machine
+		}
+		p := core.Planner{Machine: m}
+		d, r, err := p.Join(ctx, o, a.input(), b.input())
+		return JoinResult{Result: r, Decision: &d}, err
+	case AlgParallel:
+		rep, r, err := w.runParallel(ctx, a, b, opts)
+		if err != nil {
+			return JoinResult{}, err
+		}
+		res.Parallel = rep
+		return JoinResult{Result: r}, nil
+	default:
+		return JoinResult{}, fmt.Errorf("unijoin: unknown algorithm %v", alg)
+	}
+}
+
+// runParallel loads both record streams from the workspace (the one
+// read pass is charged to the simulated-I/O counters like any other
+// scan) and runs the multicore in-memory engine.
+func (w *Workspace) runParallel(ctx context.Context, a, b *Relation, opts *JoinOptions) (*parallel.Report, core.Result, error) {
+	po := parallel.Options{Universe: w.universeFor(a.mbr.Union(b.mbr))}
+	po.Workers = opts.Parallelism
+	po.Partitions = opts.ParallelPartitions
+	po.UseForwardSweep = opts.UseForwardSweep
+	po.Window = opts.Window
+	po.Emit = opts.Emit
+	po.EmitBatch = opts.EmitBatch
+	before := w.store.Counters()
+	beforeDirect := w.store.DirectCounters()
+	recsA, err := stream.ReadAll(a.file, stream.Records)
+	if err != nil {
+		return nil, core.Result{}, err
+	}
+	recsB, err := stream.ReadAll(b.file, stream.Records)
+	if err != nil {
+		return nil, core.Result{}, err
+	}
+	rep, err := parallel.Join(ctx, recsA, recsB, po)
+	if err != nil {
+		return nil, core.Result{}, core.WrapCanceled(err)
+	}
+	r := core.Result{
+		Algorithm:     "parallel",
+		Pairs:         rep.Pairs,
+		Sweep:         rep.Sweep,
+		SweepMaxBytes: rep.Sweep.MaxBytes,
+		HostCPU:       rep.Wall,
+		IO:            w.store.Counters().Sub(before),
+		IODirect:      w.store.DirectCounters().Sub(beforeDirect),
+	}
+	return &rep, r, nil
+}
+
+// coreOptions maps the public JoinOptions onto the core layer's.
+func (w *Workspace) coreOptions(a, b *Relation, opts *JoinOptions) (core.Options, error) {
+	if a == nil || b == nil {
+		return core.Options{}, fmt.Errorf("%w: join needs two relations", ErrNilRelation)
+	}
+	u := w.universeFor(a.mbr.Union(b.mbr))
+	o := core.Options{Store: w.store, Universe: u}
+	if opts != nil {
+		o.MemoryBytes = opts.MemoryBytes
+		o.BufferPoolBytes = opts.BufferPoolBytes
+		o.UseForwardSweep = opts.UseForwardSweep
+		o.PBSMTilesPerAxis = opts.PBSMTilesPerAxis
+		o.Window = opts.Window
+		o.Emit = opts.Emit
+		o.EmitBatch = opts.EmitBatch
+	}
+	return o, nil
+}

@@ -1,0 +1,394 @@
+package unijoin
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unijoin/internal/datagen"
+)
+
+// queryAlgorithms is every algorithm the equivalence tests cover; all
+// of them must produce identical pair sets through every emit mode.
+var queryAlgorithms = []Algorithm{AlgPQ, AlgSSSJ, AlgPBSM, AlgST, AlgAuto, AlgBFRJ, AlgParallel}
+
+// bruteWindow is the reference pair set, optionally window-filtered
+// with the library's semantics (both records must intersect w).
+func bruteWindow(a, b []Record, w *Rect) map[Pair]bool {
+	out := map[Pair]bool{}
+	for _, ra := range a {
+		if w != nil && !ra.Rect.Intersects(*w) {
+			continue
+		}
+		for _, rb := range b {
+			if w != nil && !rb.Rect.Intersects(*w) {
+				continue
+			}
+			if ra.Rect.Intersects(rb.Rect) {
+				out[Pair{Left: ra.ID, Right: rb.ID}] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestQueryEmitModesEquivalence is the equivalence property of the
+// redesigned API: for every algorithm, with and without a window, the
+// Pairs() iterator, the Emit callback, and the EmitBatch callback all
+// deliver exactly the brute-force pair set.
+func TestQueryEmitModesEquivalence(t *testing.T) {
+	ws, a, b, ra, rb := demoWorkspace(t)
+	if err := a.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	win := NewRect(100, 100, 600, 600)
+	windows := []struct {
+		name string
+		w    *Rect
+	}{{"full", nil}, {"window", &win}}
+
+	ctx := context.Background()
+	for _, alg := range queryAlgorithms {
+		for _, wc := range windows {
+			t.Run(alg.String()+"/"+wc.name, func(t *testing.T) {
+				want := bruteWindow(ra, rb, wc.w)
+				base := func() *Query {
+					q := ws.Query(a, b).Algorithm(alg)
+					if wc.w != nil {
+						q.Window(*wc.w)
+					}
+					return q
+				}
+
+				// Mode 1: collected pairs through the iterator.
+				res, err := base().Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Collected() {
+					t.Fatal("default run should collect pairs")
+				}
+				iterated := map[Pair]bool{}
+				for p := range res.Pairs() {
+					if iterated[p] {
+						t.Fatalf("iterator duplicated %v", p)
+					}
+					iterated[p] = true
+				}
+
+				// Mode 2: the per-pair Emit callback.
+				emitted := map[Pair]bool{}
+				resEmit, err := base().Emit(func(p Pair) {
+					if emitted[p] {
+						t.Fatalf("Emit duplicated %v", p)
+					}
+					emitted[p] = true
+				}).Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resEmit.Collected() {
+					t.Fatal("Emit queries must not buffer")
+				}
+
+				// Mode 3: the batched callback. Batches are reused after
+				// the call, so record their contents immediately.
+				batched := map[Pair]bool{}
+				var batches int
+				resBatch, err := base().EmitBatch(func(ps []Pair) {
+					batches++
+					if len(ps) == 0 {
+						t.Fatal("EmitBatch delivered an empty batch")
+					}
+					for _, p := range ps {
+						if batched[p] {
+							t.Fatalf("EmitBatch duplicated %v", p)
+						}
+						batched[p] = true
+					}
+				}).Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for name, got := range map[string]map[Pair]bool{
+					"Pairs()": iterated, "Emit": emitted, "EmitBatch": batched,
+				} {
+					if len(got) != len(want) {
+						t.Fatalf("%s: %d pairs, want %d", name, len(got), len(want))
+					}
+					for p := range want {
+						if !got[p] {
+							t.Fatalf("%s: missing %v", name, p)
+						}
+					}
+				}
+				for name, n := range map[string]int64{
+					"collected": res.Count(), "emit": resEmit.Count(), "batch": resBatch.Count(),
+				} {
+					if n != int64(len(want)) {
+						t.Fatalf("%s run counted %d pairs, want %d", name, n, len(want))
+					}
+				}
+				if len(want) > 0 && batches == 0 {
+					t.Fatal("EmitBatch never called despite results")
+				}
+			})
+		}
+	}
+}
+
+// TestQueryCountOnlyAndIteratorBreak covers the two remaining result
+// modes: CountOnly keeps the accounting but yields no pairs, and
+// breaking out of the iterator early stops cleanly.
+func TestQueryCountOnlyAndIteratorBreak(t *testing.T) {
+	ws, a, b, ra, rb := demoWorkspace(t)
+	want := int64(len(bruteWindow(ra, rb, nil)))
+
+	res, err := ws.Query(a, b).CountOnly().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != want {
+		t.Fatalf("count-only = %d, want %d", res.Count(), want)
+	}
+	if res.Collected() || res.PairSlice() != nil {
+		t.Fatal("count-only must not buffer pairs")
+	}
+	for range res.Pairs() {
+		t.Fatal("count-only iterator must be empty")
+	}
+
+	res, err = ws.Query(a, b).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	for range res.Pairs() {
+		seen++
+		if seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("early break saw %d pairs", seen)
+	}
+}
+
+// TestQueryFunctionalOptions checks the With* one-shot spelling
+// configures the same query as the builder methods.
+func TestQueryFunctionalOptions(t *testing.T) {
+	ws, a, b, ra, rb := demoWorkspace(t)
+	w := NewRect(0, 0, 300, 300)
+	want := bruteWindow(ra, rb, &w)
+
+	var n int64
+	res, err := ws.Query(a, b,
+		WithAlgorithm(AlgSSSJ),
+		WithWindow(w),
+		WithEmit(func(Pair) { n++ }),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(want)) || res.Count() != n {
+		t.Fatalf("functional options: emitted %d, counted %d, want %d", n, res.Count(), len(want))
+	}
+}
+
+// TestQueryTypedErrors pins the sentinel classification of every
+// failure class, through the Query API and the deprecated wrappers.
+func TestQueryTypedErrors(t *testing.T) {
+	ws, a, b, _, _ := demoWorkspace(t)
+	ctx := context.Background()
+
+	if _, err := ws.Query(nil, b).Run(ctx); !errors.Is(err, ErrNilRelation) {
+		t.Fatalf("nil left relation: %v", err)
+	}
+	if _, err := ws.Query(a, nil).Run(ctx); !errors.Is(err, ErrNilRelation) {
+		t.Fatalf("nil right relation: %v", err)
+	}
+	for _, alg := range []Algorithm{AlgST, AlgBFRJ} {
+		if _, err := ws.Query(a, b).Algorithm(alg).Run(ctx); !errors.Is(err, ErrNeedsIndex) {
+			t.Fatalf("%v without indexes: %v", alg, err)
+		}
+	}
+	// The deprecated wrappers return the same sentinels.
+	if _, err := ws.Join(AlgST, a, b, nil); !errors.Is(err, ErrNeedsIndex) {
+		t.Fatalf("deprecated Join ST: %v", err)
+	}
+	if _, err := ws.ParallelJoin(nil, b, nil); !errors.Is(err, ErrNilRelation) {
+		t.Fatalf("deprecated ParallelJoin: %v", err)
+	}
+	// Emit and EmitBatch are mutually exclusive.
+	if _, err := ws.Query(a, b).Emit(func(Pair) {}).EmitBatch(func([]Pair) {}).Run(ctx); err == nil {
+		t.Fatal("Emit+EmitBatch must error")
+	}
+}
+
+// TestQueryPreCanceledContext: a context canceled before Run returns
+// ErrCanceled from every algorithm without doing the join.
+func TestQueryPreCanceledContext(t *testing.T) {
+	ws, a, b, _, _ := demoWorkspace(t)
+	if err := a.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range queryAlgorithms {
+		_, err := ws.Query(a, b).Algorithm(alg).Run(ctx)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v: err = %v, want ErrCanceled", alg, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: ErrCanceled must wrap context.Canceled, got %v", alg, err)
+		}
+	}
+	// Multiway and Plan honor the canceled context too.
+	if _, err := ws.MultiwayJoin(ctx, []*Relation{a, b}, nil, nil); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("multiway: %v", err)
+	}
+	if _, err := ws.Plan(ctx, Machine1, a, b, nil); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("plan: %v", err)
+	}
+}
+
+// TestQueryCancelMidJoin cancels the context from inside the Emit
+// callback — deterministically mid-sweep — and requires the join to
+// stop with ErrCanceled instead of running to completion.
+func TestQueryCancelMidJoin(t *testing.T) {
+	u := NewRect(0, 0, 1000, 1000)
+	ws := NewWorkspace()
+	ws.SetUniverse(u)
+	a, err := ws.AddRelation(datagen.Uniform(7, 4000, u, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ws.AddRelation(datagen.Uniform(8, 4000, u, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ws.Query(a, b).CountOnly().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count() < 1000 {
+		t.Fatalf("workload too small to cancel mid-join: %d pairs", full.Count())
+	}
+
+	for _, alg := range []Algorithm{AlgPQ, AlgSSSJ, AlgPBSM} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var emitted atomic.Int64
+		_, err := ws.Query(a, b).Algorithm(alg).Emit(func(Pair) {
+			if emitted.Add(1) == 100 {
+				cancel()
+			}
+		}).Run(ctx)
+		cancel()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%v: err = %v, want ErrCanceled", alg, err)
+		}
+		if got := emitted.Load(); got >= full.Count() {
+			t.Fatalf("%v: join ran to completion (%d pairs) despite cancel", alg, got)
+		}
+	}
+}
+
+// TestQueryDeadline: an already-expired deadline surfaces as
+// ErrCanceled that also matches context.DeadlineExceeded.
+func TestQueryDeadline(t *testing.T) {
+	ws, a, b, _, _ := demoWorkspace(t)
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	_, err := ws.Query(a, b).Run(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error must match context.DeadlineExceeded: %v", err)
+	}
+}
+
+// TestParallelQueryCancelMidJoin cancels a large AlgParallel join
+// shortly after it starts; the worker pool must stop and report
+// ErrCanceled. Run under -race in CI, this also proves the
+// cancellation path is data-race-free.
+func TestParallelQueryCancelMidJoin(t *testing.T) {
+	u := NewRect(0, 0, 100_000, 100_000)
+	ws := NewWorkspace()
+	ws.SetUniverse(u)
+	a, err := ws.AddRelation(datagen.Uniform(1, 120_000, u, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ws.AddRelation(datagen.Uniform(2, 120_000, u, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = ws.Query(a, b).Algorithm(AlgParallel).Parallelism(4).Run(ctx)
+	elapsed := time.Since(start)
+	cancel()
+	if err == nil {
+		t.Skip("join finished before the cancel landed (very fast host)")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Promptness: the kernel checks every 1024 records, so the abort
+	// must come in far under the multi-hundred-ms full join time.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelation took %v", elapsed)
+	}
+}
+
+// TestResultsExposesAccounting: the Results value carries the same
+// accounting the old JoinResult did.
+func TestResultsExposesAccounting(t *testing.T) {
+	ws, a, b, _, _ := demoWorkspace(t)
+	if err := a.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ws.Query(a, b).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IO.Total() == 0 {
+		t.Fatal("I/O accounting missing")
+	}
+	if res.ObservedTotal(Machine1) <= 0 {
+		t.Fatal("machine pricing missing")
+	}
+	if res.PageRequests == 0 {
+		t.Fatal("indexed side should report page requests")
+	}
+	// AlgAuto exposes its decision.
+	auto, err := ws.Query(a, b).Algorithm(AlgAuto).CountOnly().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Decision == nil {
+		t.Fatal("auto query must report its decision")
+	}
+	// AlgParallel exposes the engine report.
+	par, err := ws.Query(a, b).Algorithm(AlgParallel).CountOnly().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Parallel == nil || par.Parallel.Workers < 1 {
+		t.Fatal("parallel query must carry the engine report")
+	}
+}

@@ -23,14 +23,42 @@
 // cost-model planner of Section 6.3 that picks between the index and
 // sort paths.
 //
-// Quick start:
+// # Quick start
+//
+// Joins are built with the composable Query API and executed under a
+// context.Context:
 //
 //	ws := unijoin.NewWorkspace()
 //	roads, _ := ws.AddRelation(roadRecords)
 //	hydro, _ := ws.AddRelation(hydroRecords)
 //	_ = roads.BuildIndex()
-//	res, _ := ws.Join(unijoin.AlgPQ, roads, hydro, nil)
-//	fmt.Println(res.Pairs, "intersecting pairs")
+//
+//	res, _ := ws.Query(roads, hydro).Algorithm(unijoin.AlgPQ).Run(ctx)
+//	fmt.Println(res.Count(), "intersecting pairs")
+//	for p := range res.Pairs() {
+//		fmt.Println(p.Left, p.Right)
+//	}
+//
+// Builder methods chain (Algorithm, Window, Parallelism, Memory,
+// Emit, ...); the equivalent With* functional options serve one-shot
+// calls:
+//
+//	res, err := ws.Query(roads, hydro,
+//		unijoin.WithWindow(r),
+//		unijoin.WithParallelism(8),
+//	).Run(ctx)
+//
+// Canceling ctx (or exceeding its deadline) aborts the join mid-run
+// with an error matching errors.Is(err, unijoin.ErrCanceled); other
+// failure classes carry the ErrNeedsIndex and ErrNilRelation
+// sentinels.
+//
+// Result pairs go to exactly one destination. By default Run buffers
+// them for the Results.Pairs iterator; Emit streams them one at a
+// time; EmitBatch streams them in pooled slices, amortizing the
+// callback cost over thousands of pairs (the fast path for servers);
+// CountOnly drops them, keeping only the accounting — the paper's own
+// costing, which excludes output writing.
 //
 // # Parallel in-memory execution
 //
@@ -43,14 +71,11 @@
 // wall-clock time rather than simulated page accesses — the
 // benchmarking path for real hardware:
 //
-//	res, _ := ws.ParallelJoin(roads, hydro, &unijoin.JoinOptions{Parallelism: 8})
-//	fmt.Println(res.Pairs, "pairs in", res.Parallel.Wall)
-//
-// ws.Join(unijoin.AlgParallel, ...) runs the same engine with
-// JoinOptions.Parallelism workers (default GOMAXPROCS) when only the
-// JoinResult is needed. See examples/parallel for the two paths side
-// by side, and `go run ./cmd/sjbench -parallel N` for the wall-clock
-// scaling table.
+//	res, _ := ws.Query(roads, hydro).
+//		Algorithm(unijoin.AlgParallel).
+//		Parallelism(8).
+//		Run(ctx)
+//	fmt.Println(res.Count(), "pairs in", res.Parallel.Wall)
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure plus the
@@ -58,12 +83,14 @@
 package unijoin
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"unijoin/internal/core"
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
-	"unijoin/internal/parallel"
 	"unijoin/internal/rtree"
 	"unijoin/internal/stream"
 )
@@ -87,6 +114,24 @@ type (
 
 // NewRect builds a normalized rectangle from two corners.
 func NewRect(x1, y1, x2, y2 Coord) Rect { return geom.NewRect(x1, y1, x2, y2) }
+
+// ParseRect parses the "x1,y1,x2,y2" rectangle syntax shared by the
+// command-line tools' -window and -region flags.
+func ParseRect(s string) (Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return Rect{}, fmt.Errorf("unijoin: rectangle needs 4 comma-separated numbers, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Rect{}, fmt.Errorf("unijoin: bad rectangle component %q: %w", p, err)
+		}
+		v[i] = f
+	}
+	return NewRect(Coord(v[0]), Coord(v[1]), Coord(v[2]), Coord(v[3])), nil
+}
 
 // Machine is a simulated hardware platform (CPU clock plus disk model).
 type Machine = iosim.Machine
@@ -124,7 +169,7 @@ const (
 	AlgBFRJ
 	// AlgParallel is the multicore in-memory engine: partition-parallel
 	// plane sweep with reference-point duplicate avoidance, measured in
-	// wall-clock time (JoinOptions.Parallelism sets the worker count).
+	// wall-clock time (Query.Parallelism sets the worker count).
 	AlgParallel
 )
 
@@ -272,7 +317,9 @@ func (w *Workspace) universeFor(fallback Rect) Rect {
 }
 
 // JoinOptions tunes a join; nil means defaults. Fields mirror the
-// paper's experimental knobs.
+// paper's experimental knobs. The Query builder methods and With*
+// options set the same fields; JoinOptions survives as the parameter
+// block of the deprecated wrappers.
 type JoinOptions struct {
 	// MemoryBytes is the simulated internal memory (default 24 MB).
 	MemoryBytes int
@@ -288,8 +335,8 @@ type JoinOptions struct {
 	UseForwardSweep bool
 	// PBSMTilesPerAxis overrides PBSM's tile resolution (default 128).
 	PBSMTilesPerAxis int
-	// Parallelism is the worker count for AlgParallel/ParallelJoin
-	// (default GOMAXPROCS). Other algorithms ignore it.
+	// Parallelism is the worker count for AlgParallel (default
+	// GOMAXPROCS). Other algorithms ignore it.
 	Parallelism int
 	// ParallelPartitions overrides the parallel engine's stripe count
 	// (default: several stripes per worker for load balancing).
@@ -299,124 +346,66 @@ type JoinOptions struct {
 	// the caller's goroutine in deterministic partition order after
 	// the concurrent phase, so the callback need not be thread-safe.
 	Emit func(Pair)
-}
-
-// JoinResult is the outcome of a join: pair count, I/O and memory
-// accounting, and per-machine cost reports.
-type JoinResult struct {
-	core.Result
-	// Decision is set for AlgAuto: what the planner chose and why.
-	Decision *core.Decision
+	// EmitBatch receives result pairs in pooled batches; see
+	// Query.EmitBatch. Mutually exclusive with Emit.
+	EmitBatch func([]Pair)
 }
 
 // Join runs the selected algorithm on two relations. Requirements:
 // AlgST needs both relations indexed; AlgSSSJ/AlgPBSM ignore indexes;
 // AlgPQ uses an index when present; AlgAuto decides per side.
+//
+// Deprecated: build a Query instead — ws.Query(a, b).Algorithm(alg).
+// Run(ctx) — which adds context cancellation, the Pairs iterator, and
+// typed errors. Join runs the same code with context.Background() and
+// never buffers pairs (CountOnly semantics unless opts.Emit or
+// opts.EmitBatch is set).
 func (w *Workspace) Join(alg Algorithm, a, b *Relation, opts *JoinOptions) (JoinResult, error) {
-	o, err := w.coreOptions(a, b, opts)
+	q := w.Query(a, b).Algorithm(alg).CountOnly()
+	if opts != nil {
+		q.opts = *opts
+	}
+	res, err := q.Run(context.Background())
 	if err != nil {
 		return JoinResult{}, err
 	}
-	switch alg {
-	case AlgSSSJ:
-		res, err := core.SSSJ(o, a.file, b.file)
-		return JoinResult{Result: res}, err
-	case AlgPBSM:
-		res, err := core.PBSM(o, a.file, b.file)
-		return JoinResult{Result: res}, err
-	case AlgST:
-		if a.tree == nil || b.tree == nil {
-			return JoinResult{}, fmt.Errorf("unijoin: ST requires both relations indexed")
-		}
-		res, err := core.ST(o, a.tree, b.tree)
-		return JoinResult{Result: res}, err
-	case AlgPQ:
-		res, err := core.PQ(o, a.input(), b.input())
-		return JoinResult{Result: res}, err
-	case AlgBFRJ:
-		if a.tree == nil || b.tree == nil {
-			return JoinResult{}, fmt.Errorf("unijoin: BFRJ requires both relations indexed")
-		}
-		res, err := core.BFRJ(o, a.tree, b.tree)
-		return JoinResult{Result: res}, err
-	case AlgAuto:
-		m := Machine3
-		if opts != nil && opts.Machine.Name != "" {
-			m = opts.Machine
-		}
-		p := core.Planner{Machine: m}
-		d, res, err := p.Join(o, a.input(), b.input())
-		return JoinResult{Result: res, Decision: &d}, err
-	case AlgParallel:
-		pr, err := w.ParallelJoin(a, b, opts)
-		return pr.JoinResult, err
-	default:
-		return JoinResult{}, fmt.Errorf("unijoin: unknown algorithm %v", alg)
-	}
+	return res.JoinResult, nil
 }
 
-// ParallelResult extends JoinResult with the parallel engine's
-// wall-clock report: partition/worker breakdown, replication factor,
-// and per-phase times.
-type ParallelResult struct {
-	JoinResult
-	// Parallel is the engine's full report (wall-clock phases,
-	// per-worker statistics, replication).
-	Parallel parallel.Report
-}
-
-// ParallelJoin runs the multicore in-memory engine on two relations:
-// both record streams are loaded from the workspace (the one read pass
-// is charged to the simulated-I/O counters like any other scan), then
-// partitioned into sample-balanced stripes and swept concurrently by
-// opts.Parallelism workers. The JoinResult mirrors the serial
-// algorithms' report — HostCPU is the engine's wall-clock time — and
-// the Parallel field carries the detailed scaling statistics. Indexes
-// are ignored; Window and Emit behave as in the serial joins.
+// ParallelJoin runs the multicore in-memory engine on two relations;
+// see AlgParallel. The JoinResult mirrors the serial algorithms'
+// report — HostCPU is the engine's wall-clock time — and the Parallel
+// field carries the detailed scaling statistics. Indexes are ignored;
+// Window and Emit behave as in the serial joins.
+//
+// Deprecated: build a Query instead — ws.Query(a, b).
+// Algorithm(AlgParallel).Parallelism(n).Run(ctx) — and read the
+// report from Results.Parallel.
 func (w *Workspace) ParallelJoin(a, b *Relation, opts *JoinOptions) (ParallelResult, error) {
-	if a == nil || b == nil {
-		return ParallelResult{}, fmt.Errorf("unijoin: nil relation")
-	}
-	po := parallel.Options{Universe: w.universeFor(a.mbr.Union(b.mbr))}
+	q := w.Query(a, b).Algorithm(AlgParallel).CountOnly()
 	if opts != nil {
-		po.Workers = opts.Parallelism
-		po.Partitions = opts.ParallelPartitions
-		po.UseForwardSweep = opts.UseForwardSweep
-		po.Window = opts.Window
-		po.Emit = opts.Emit
+		q.opts = *opts
 	}
-	before := w.store.Counters()
-	beforeDirect := w.store.DirectCounters()
-	recsA, err := stream.ReadAll(a.file, stream.Records)
+	res, err := q.Run(context.Background())
 	if err != nil {
 		return ParallelResult{}, err
 	}
-	recsB, err := stream.ReadAll(b.file, stream.Records)
-	if err != nil {
-		return ParallelResult{}, err
-	}
-	rep, err := parallel.Join(recsA, recsB, po)
-	if err != nil {
-		return ParallelResult{}, err
-	}
-	res := core.Result{
-		Algorithm:     "parallel",
-		Pairs:         rep.Pairs,
-		Sweep:         rep.Sweep,
-		SweepMaxBytes: rep.Sweep.MaxBytes,
-		HostCPU:       rep.Wall,
-		IO:            w.store.Counters().Sub(before),
-		IODirect:      w.store.DirectCounters().Sub(beforeDirect),
-	}
-	return ParallelResult{JoinResult: JoinResult{Result: res}, Parallel: rep}, nil
+	return ParallelResult{JoinResult: res.JoinResult, Parallel: *res.Parallel}, nil
 }
 
 // MultiwayJoin computes the k-way intersection join of the relations
-// (k >= 2) with the pipelined PQ strategy of Section 4. emit receives
-// the IDs of each result tuple in input order.
-func (w *Workspace) MultiwayJoin(rels []*Relation, opts *JoinOptions, emit func(ids []ID)) (core.MultiwayResult, error) {
+// (k >= 2) with the pipelined PQ strategy of Section 4, under ctx:
+// every pipeline stage polls the context, so canceling it aborts the
+// whole multiway join with ErrCanceled. emit receives the IDs of each
+// result tuple in input order.
+func (w *Workspace) MultiwayJoin(ctx context.Context, rels []*Relation, opts *JoinOptions, emit func(ids []ID)) (core.MultiwayResult, error) {
 	if len(rels) < 2 {
 		return core.MultiwayResult{}, fmt.Errorf("unijoin: multiway join needs >= 2 relations")
+	}
+	for _, r := range rels {
+		if r == nil {
+			return core.MultiwayResult{}, fmt.Errorf("%w: multiway join", ErrNilRelation)
+		}
 	}
 	o, err := w.coreOptions(rels[0], rels[1], opts)
 	if err != nil {
@@ -431,36 +420,20 @@ func (w *Workspace) MultiwayJoin(rels []*Relation, opts *JoinOptions, emit func(
 	for i, r := range rels {
 		inputs[i] = r.input()
 	}
-	return core.MultiwayPQ(o, inputs, emit)
+	return core.MultiwayPQ(ctx, o, inputs, emit)
 }
 
-// Plan runs only the cost model, without executing the join.
-func (w *Workspace) Plan(m Machine, a, b *Relation, opts *JoinOptions) (core.Decision, error) {
+// Plan runs only the Section 6.3 cost model, without executing the
+// join; histogram construction polls ctx.
+func (w *Workspace) Plan(ctx context.Context, m Machine, a, b *Relation, opts *JoinOptions) (core.Decision, error) {
 	o, err := w.coreOptions(a, b, opts)
 	if err != nil {
 		return core.Decision{}, err
 	}
 	p := core.Planner{Machine: m}
-	return p.Plan(o, a.input(), b.input())
+	return p.Plan(ctx, o, a.input(), b.input())
 }
 
 func (r *Relation) input() core.Input {
 	return core.Input{File: r.file, Tree: r.tree}
-}
-
-func (w *Workspace) coreOptions(a, b *Relation, opts *JoinOptions) (core.Options, error) {
-	if a == nil || b == nil {
-		return core.Options{}, fmt.Errorf("unijoin: nil relation")
-	}
-	u := w.universeFor(a.mbr.Union(b.mbr))
-	o := core.Options{Store: w.store, Universe: u}
-	if opts != nil {
-		o.MemoryBytes = opts.MemoryBytes
-		o.BufferPoolBytes = opts.BufferPoolBytes
-		o.UseForwardSweep = opts.UseForwardSweep
-		o.PBSMTilesPerAxis = opts.PBSMTilesPerAxis
-		o.Window = opts.Window
-		o.Emit = opts.Emit
-	}
-	return o, nil
 }

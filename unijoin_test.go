@@ -1,6 +1,7 @@
 package unijoin
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -159,14 +160,14 @@ func TestWorkspaceMultiwayJoin(t *testing.T) {
 		}
 	}
 	var got int
-	res, err := ws.MultiwayJoin([]*Relation{a, b, c}, nil, func(ids []ID) { got++ })
+	res, err := ws.MultiwayJoin(context.Background(), []*Relation{a, b, c}, nil, func(ids []ID) { got++ })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != want || res.Tuples != int64(want) {
 		t.Fatalf("triples = %d, want %d", got, want)
 	}
-	if _, err := ws.MultiwayJoin([]*Relation{a}, nil, nil); err == nil {
+	if _, err := ws.MultiwayJoin(context.Background(), []*Relation{a}, nil, nil); err == nil {
 		t.Fatal("single relation must error")
 	}
 }
@@ -180,7 +181,7 @@ func TestWorkspacePlan(t *testing.T) {
 	if err := big.BuildIndex(); err != nil {
 		t.Fatal(err)
 	}
-	d, err := ws.Plan(Machine1, big, small, nil)
+	d, err := ws.Plan(context.Background(), Machine1, big, small, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
