@@ -1,0 +1,159 @@
+// Package client is the Go client for sjserved, the spatial-join
+// query service, and the home of the wire types its HTTP API speaks
+// (internal/server marshals exactly these structs, so the two sides
+// cannot drift).
+//
+// The service exposes five endpoints:
+//
+//	GET  /v1/healthz    liveness probe
+//	GET  /v1/relations  the in-memory relation catalog
+//	GET  /v1/stats      uptime and per-request counters
+//	POST /v1/join       spatial join of two cataloged relations
+//	POST /v1/window     window (range) query over one relation
+//
+// Join and window responses stream as NDJSON (one JSON object per
+// line): zero or more batch lines carrying result pairs or records,
+// then exactly one terminal line carrying either the summary or an
+// error. Streaming starts as soon as the join produces output, so a
+// client can consume results long before the query finishes.
+package client
+
+import "fmt"
+
+// Rect is an axis-parallel rectangle in request/response bodies,
+// mirroring unijoin.Rect.
+type Rect struct {
+	XLo float64 `json:"xlo"`
+	YLo float64 `json:"ylo"`
+	XHi float64 `json:"xhi"`
+	YHi float64 `json:"yhi"`
+}
+
+// JoinRequest asks for a spatial join of two cataloged relations.
+type JoinRequest struct {
+	// Left and Right name the relations to join.
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	// Algorithm is the join strategy: PQ (default), SSSJ, PBSM, ST,
+	// auto, BFRJ, or parallel (case-insensitive).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Window restricts the join to pairs of records both intersecting
+	// this rectangle.
+	Window *Rect `json:"window,omitempty"`
+	// Parallelism is the worker count for the parallel algorithm
+	// (0 = the server's GOMAXPROCS; the server clamps large values).
+	Parallelism int `json:"parallelism,omitempty"`
+	// CountOnly skips pair streaming and materialization entirely;
+	// the response is a single summary line (the cheapest mode).
+	CountOnly bool `json:"count_only,omitempty"`
+	// TimeoutMillis bounds this request server-side; the server's own
+	// per-request timeout still applies as a ceiling.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// JoinSummary is the terminal line of a successful join response.
+type JoinSummary struct {
+	Left         string `json:"left"`
+	Right        string `json:"right"`
+	Algorithm    string `json:"algorithm"`
+	Pairs        int64  `json:"pairs"`
+	LeftRecords  int64  `json:"left_records"`
+	RightRecords int64  `json:"right_records"`
+	// ElapsedMillis is the server-side wall-clock time of the join.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// WindowRequest asks for the records of one relation intersecting a
+// rectangle. Window is required — the server rejects a request
+// without one rather than guessing a default.
+type WindowRequest struct {
+	Relation string `json:"relation"`
+	Window   *Rect  `json:"window"`
+	// CountOnly skips record streaming; the response is a single
+	// summary line.
+	CountOnly bool `json:"count_only,omitempty"`
+	// TimeoutMillis bounds this request server-side.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// WindowSummary is the terminal line of a successful window response.
+type WindowSummary struct {
+	Relation      string  `json:"relation"`
+	Records       int64   `json:"records"`
+	Indexed       bool    `json:"indexed"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// RecordOut is one spatial record in a window response.
+type RecordOut struct {
+	ID   uint32 `json:"id"`
+	Rect Rect   `json:"rect"`
+}
+
+// JoinLine is one NDJSON line of a join response: exactly one field
+// is set — Pairs on batch lines, Summary or Error on the final line.
+// Each pair is [leftID, rightID].
+type JoinLine struct {
+	Pairs   [][2]uint32  `json:"pairs,omitempty"`
+	Summary *JoinSummary `json:"summary,omitempty"`
+	Error   *APIError    `json:"error,omitempty"`
+}
+
+// WindowLine is one NDJSON line of a window response; exactly one
+// field is set, as in JoinLine.
+type WindowLine struct {
+	Records []RecordOut    `json:"records,omitempty"`
+	Summary *WindowSummary `json:"summary,omitempty"`
+	Error   *APIError      `json:"error,omitempty"`
+}
+
+// RelationInfo describes one cataloged relation (GET /v1/relations).
+type RelationInfo struct {
+	Name       string `json:"name"`
+	Records    int64  `json:"records"`
+	Indexed    bool   `json:"indexed"`
+	DataBytes  int64  `json:"data_bytes"`
+	IndexBytes int64  `json:"index_bytes,omitempty"`
+	MBR        Rect   `json:"mbr"`
+}
+
+// Stats is the GET /v1/stats response: uptime, the catalog summary,
+// and the per-request counters the metrics middleware accumulates.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Relations     int     `json:"relations"`
+	Requests      int64   `json:"requests"`
+	InFlight      int64   `json:"in_flight"`
+	Joins         int64   `json:"joins"`
+	Windows       int64   `json:"windows"`
+	// Errors counts failed requests, excluding cancellations;
+	// Canceled counts timeouts and client disconnects separately.
+	Errors          int64 `json:"errors"`
+	Canceled        int64 `json:"canceled"`
+	PairsStreamed   int64 `json:"pairs_streamed"`
+	RecordsStreamed int64 `json:"records_streamed"`
+}
+
+// Error codes carried by APIError.Code, one per error class the
+// server distinguishes.
+const (
+	CodeBadRequest = "bad_request" // malformed body, unknown algorithm, bad window
+	CodeNotFound   = "not_found"   // relation not in the catalog (or unknown route)
+	CodeNeedsIndex = "needs_index" // algorithm requires indexes the inputs lack
+	CodeCanceled   = "canceled"    // server-side timeout or client disconnect
+	CodeInternal   = "internal"    // anything else
+)
+
+// APIError is the service's error shape, both as a non-2xx JSON body
+// and as the terminal line of a stream that failed mid-flight (in
+// which case Status reflects the code the server would have sent).
+type APIError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sjserved: %s (%d %s)", e.Message, e.Status, e.Code)
+}

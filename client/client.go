@@ -1,0 +1,216 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxLineBytes bounds one NDJSON response line; batch lines are
+// server-capped far below this.
+const maxLineBytes = 1 << 20
+
+// Client talks to one sjserved instance. The zero value is not
+// usable; construct with New. Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8470"). httpClient may be nil for
+// http.DefaultClient; cancellation and deadlines come from the
+// per-call context either way.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// Health checks GET /v1/healthz, returning nil when the service is up.
+func (c *Client) Health(ctx context.Context) error {
+	var ignored map[string]string
+	return c.getJSON(ctx, "/v1/healthz", &ignored)
+}
+
+// Relations lists the server's relation catalog.
+func (c *Client) Relations(ctx context.Context) ([]RelationInfo, error) {
+	var out []RelationInfo
+	if err := c.getJSON(ctx, "/v1/relations", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the server's request counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.getJSON(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Join runs a spatial join on the server, streaming each result pair
+// to onPair as batches arrive, and returns the summary the server
+// computed. onPair may be nil (or req.CountOnly set) to skip pair
+// delivery. Errors from the service are returned as *APIError.
+func (c *Client) Join(ctx context.Context, req JoinRequest, onPair func(left, right uint32)) (*JoinSummary, error) {
+	body, err := c.postStream(ctx, "/v1/join", req)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	var summary *JoinSummary
+	err = scanLines(body, func(data []byte) error {
+		var line JoinLine
+		if err := json.Unmarshal(data, &line); err != nil {
+			return fmt.Errorf("sjserved: bad response line: %w", err)
+		}
+		switch {
+		case line.Error != nil:
+			return line.Error
+		case line.Summary != nil:
+			summary = line.Summary
+		default:
+			if onPair != nil {
+				for _, p := range line.Pairs {
+					onPair(p[0], p[1])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if summary == nil {
+		return nil, fmt.Errorf("sjserved: join stream ended without a summary")
+	}
+	return summary, nil
+}
+
+// JoinCount is Join with CountOnly forced: the cheapest way to get a
+// pair count, with no pair ever materialized or sent.
+func (c *Client) JoinCount(ctx context.Context, req JoinRequest) (*JoinSummary, error) {
+	req.CountOnly = true
+	return c.Join(ctx, req, nil)
+}
+
+// Window runs a window query on the server, streaming each matching
+// record to onRecord (which may be nil), and returns the summary.
+func (c *Client) Window(ctx context.Context, req WindowRequest, onRecord func(RecordOut)) (*WindowSummary, error) {
+	body, err := c.postStream(ctx, "/v1/window", req)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	var summary *WindowSummary
+	err = scanLines(body, func(data []byte) error {
+		var line WindowLine
+		if err := json.Unmarshal(data, &line); err != nil {
+			return fmt.Errorf("sjserved: bad response line: %w", err)
+		}
+		switch {
+		case line.Error != nil:
+			return line.Error
+		case line.Summary != nil:
+			summary = line.Summary
+		default:
+			if onRecord != nil {
+				for _, r := range line.Records {
+					onRecord(r)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if summary == nil {
+		return nil, fmt.Errorf("sjserved: window stream ended without a summary")
+	}
+	return summary, nil
+}
+
+// getJSON performs a GET and decodes a plain JSON response.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postStream POSTs a JSON body and returns the NDJSON response body,
+// converting non-2xx responses to *APIError.
+func (c *Client) postStream(ctx context.Context, path string, in any) (io.ReadCloser, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// scanLines feeds each non-empty NDJSON line to fn.
+func scanLines(r io.Reader, fn func([]byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// decodeError turns a non-2xx response into an *APIError, falling
+// back to a generic one when the body is not the expected
+// {"error": {...}} shape.
+func decodeError(resp *http.Response) error {
+	var wrapper struct {
+		Error *APIError `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(data, &wrapper); err != nil || wrapper.Error == nil || wrapper.Error.Code == "" {
+		return &APIError{
+			Status:  resp.StatusCode,
+			Code:    CodeInternal,
+			Message: fmt.Sprintf("unexpected response: %s", bytes.TrimSpace(data)),
+		}
+	}
+	wrapper.Error.Status = resp.StatusCode
+	return wrapper.Error
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sjbench [-exp id[,id...]] [-scale f] [-sets NJ,NY,...] [-seed n]
-//	        [-parallel N] [-timeout d] [-window x1,y1,x2,y2]
+//	        [-parallel N] [-timeout d] [-window x1,y1,x2,y2] [-json]
 //
 // With no -exp flag, every experiment runs in DESIGN.md order:
 // table1 table2 table3 table4 fig2 fig3 sel and the ablations. The
@@ -21,6 +21,11 @@
 // tracks. -window restricts the wall-clock joins to the given
 // rectangle (it has no effect on the paper-reproduction experiments,
 // whose tables are defined over the full data sets).
+//
+// With -json, every measured run is emitted as one NDJSON object
+// (keys derived from the table's column headers, numeric cells as
+// JSON numbers) instead of aligned tables — the machine-readable form
+// a benchmark trajectory can append to and diff across commits.
 //
 // Every experiment runs under a context: -timeout bounds the whole
 // invocation and Ctrl-C cancels it, so a runaway configuration can be
@@ -52,6 +57,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "run only the wall-clock parallel engine experiment, scaling to N workers")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		window   = flag.String("window", "", "restrict the wall-clock joins to this rectangle: x1,y1,x2,y2")
+		jsonOut  = flag.Bool("json", false, "emit results as NDJSON, one object per measured run, instead of tables")
 	)
 	flag.Parse()
 
@@ -85,12 +91,23 @@ func main() {
 		cfg.Window = &r
 	}
 
+	// print renders one result table in the selected output mode.
+	print := func(id string, tab *experiments.Table) {
+		if *jsonOut {
+			if err := tab.FprintJSONL(os.Stdout); err != nil {
+				exitErr(id, err)
+			}
+			return
+		}
+		tab.Fprint(os.Stdout)
+	}
+
 	if *parallel > 0 {
 		tab, err := experiments.Wallclock(ctx, cfg, *parallel)
 		if err != nil {
 			exitErr("wallclock", err)
 		}
-		tab.Fprint(os.Stdout)
+		print("wallclock", tab)
 		return
 	}
 
@@ -99,9 +116,12 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	for _, id := range ids {
-		if err := experiments.Run(ctx, strings.TrimSpace(id), cfg, os.Stdout); err != nil {
+		id = strings.TrimSpace(id)
+		tab, err := experiments.RunTable(ctx, id, cfg)
+		if err != nil {
 			exitErr(id, err)
 		}
+		print(id, tab)
 	}
 }
 

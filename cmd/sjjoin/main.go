@@ -60,11 +60,11 @@ func main() {
 		defer cancel()
 	}
 
-	recsA, err := readRecords(*aPath)
+	recsA, err := unijoin.ReadRecordFile(*aPath)
 	if err != nil {
 		fail(err)
 	}
-	recsB, err := readRecords(*bPath)
+	recsB, err := unijoin.ReadRecordFile(*bPath)
 	if err != nil {
 		fail(err)
 	}
@@ -93,7 +93,7 @@ func main() {
 		}
 	}
 
-	algorithm, err := parseAlg(*alg)
+	algorithm, err := unijoin.ParseAlgorithm(*alg)
 	if err != nil {
 		fail(err)
 	}
@@ -169,41 +169,6 @@ func main() {
 	if outFile != nil {
 		fmt.Printf("pairs written:   %s\n", *out)
 	}
-}
-
-func parseAlg(s string) (unijoin.Algorithm, error) {
-	switch strings.ToUpper(s) {
-	case "PQ":
-		return unijoin.AlgPQ, nil
-	case "SSSJ":
-		return unijoin.AlgSSSJ, nil
-	case "PBSM":
-		return unijoin.AlgPBSM, nil
-	case "ST":
-		return unijoin.AlgST, nil
-	case "AUTO":
-		return unijoin.AlgAuto, nil
-	case "PARALLEL":
-		return unijoin.AlgParallel, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", s)
-	}
-}
-
-func readRecords(path string) ([]unijoin.Record, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if len(data)%geom.RecordSize != 0 {
-		return nil, fmt.Errorf("%s: %d bytes is not a whole number of %d-byte records",
-			path, len(data), geom.RecordSize)
-	}
-	recs := make([]unijoin.Record, 0, len(data)/geom.RecordSize)
-	for off := 0; off < len(data); off += geom.RecordSize {
-		recs = append(recs, geom.DecodeRecord(data[off:]))
-	}
-	return recs, nil
 }
 
 func fail(err error) {

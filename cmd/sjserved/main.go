@@ -1,0 +1,224 @@
+// Command sjserved is the long-lived spatial-join query service: it
+// loads named relations into an in-memory catalog once — from sjgen
+// record files or generated synthetically at startup — keeps their
+// R-trees resident, and serves join and window queries over HTTP
+// until told to stop.
+//
+// Usage:
+//
+//	sjserved [-addr :8470] [-timeout 30s]
+//	         [-load name=path.bin]... [-uniform name=N]... [-tiger SET[:scale]]...
+//	         [-index all|none|name,name...] [-region x1,y1,x2,y2] [-seed n]
+//
+// Relation sources (repeatable, mixable):
+//
+//	-load roads=/data/ny.roads.bin   a 20-byte-record file written by sjgen
+//	-uniform a=100000                N uniform rectangles over -region
+//	-tiger NY:0.01                   the synthetic TIGER-like set, loaded
+//	                                 as NY.roads and NY.hydro
+//
+// Endpoints: POST /v1/join, POST /v1/window, GET /v1/relations,
+// GET /v1/stats, GET /v1/healthz. Join and window responses stream
+// NDJSON; see the client package for the wire types.
+//
+// Every request runs under a context canceled by client disconnect
+// and bounded by -timeout (a request's own timeout_ms may shorten
+// it). SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
+// get 10 seconds to finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"unijoin"
+	"unijoin/internal/datagen"
+	"unijoin/internal/server"
+	"unijoin/internal/tiger"
+)
+
+// shutdownGrace is how long in-flight requests get after SIGTERM.
+const shutdownGrace = 10 * time.Second
+
+// repeatable collects the values of a repeatable flag.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8470", "listen address")
+		timeout = flag.Duration("timeout", 30*time.Second, "server-side ceiling per join/window request (0 = none)")
+		index   = flag.String("index", "all", "which relations to index: all, none, or name,name,...")
+		region  = flag.String("region", "0,0,1000,1000", "universe for -uniform relations: x1,y1,x2,y2")
+		maxExt  = flag.Float64("maxext", 20, "max rectangle extent for -uniform relations")
+		seed    = flag.Int64("seed", 1997, "generation seed for synthetic relations")
+		loads   repeatable
+		unis    repeatable
+		tigers  repeatable
+	)
+	flag.Var(&loads, "load", "load name=path.bin (repeatable)")
+	flag.Var(&unis, "uniform", "generate name=N uniform rectangles (repeatable)")
+	flag.Var(&tigers, "tiger", "generate a TIGER-like set SET[:scale] as SET.roads + SET.hydro (repeatable)")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if len(loads)+len(unis)+len(tigers) == 0 {
+		fail(errors.New("no relations: give at least one -load, -uniform, or -tiger"))
+	}
+
+	cat, err := buildCatalog(log, loads, unis, tigers, *region, *maxExt, *seed, *index)
+	if err != nil {
+		fail(err)
+	}
+
+	srv := server.New(server.Config{Catalog: cat, Timeout: *timeout, Logger: log})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("serving", "addr", *addr, "relations", cat.Len(), "timeout", timeout.String())
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	log.Info("shutting down", "grace", shutdownGrace.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// A request outliving the grace period is routine load
+		// shedding, not a crash: cut the stragglers and exit 0 as
+		// documented so orchestrators treat the stop as clean.
+		log.Warn("shutdown grace expired, closing remaining connections", "err", err)
+		httpSrv.Close()
+	}
+	log.Info("bye")
+}
+
+// buildCatalog loads every requested relation and builds the
+// requested indexes, logging each load.
+func buildCatalog(log *slog.Logger, loads, unis, tigers repeatable,
+	region string, maxExt float64, seed int64, index string) (*unijoin.Catalog, error) {
+	u, err := unijoin.ParseRect(region)
+	if err != nil {
+		return nil, err
+	}
+	// explicitIndex holds the -index name list (nil for all/none);
+	// after loading, every listed name must exist — a typo silently
+	// leaving a relation unindexed is exactly the startup error a
+	// long-lived service wants to fail loudly on.
+	var explicitIndex map[string]bool
+	switch index {
+	case "all", "none", "":
+	default:
+		explicitIndex = make(map[string]bool)
+		for _, n := range strings.Split(index, ",") {
+			explicitIndex[strings.TrimSpace(n)] = false
+		}
+	}
+	indexed := func(name string) bool {
+		switch {
+		case index == "all":
+			return true
+		case explicitIndex != nil:
+			if _, ok := explicitIndex[name]; ok {
+				explicitIndex[name] = true
+				return true
+			}
+			return false
+		default: // "none" or empty
+			return false
+		}
+	}
+
+	cat := unijoin.NewCatalog()
+	add := func(name string, recs []unijoin.Record) error {
+		rel, err := cat.Load(name, recs, indexed(name))
+		if err != nil {
+			return err
+		}
+		log.Info("loaded relation", "name", name, "records", rel.Len(),
+			"indexed", rel.Indexed(), "data_bytes", rel.DataBytes(), "index_bytes", rel.IndexBytes())
+		return nil
+	}
+
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -load %q: want name=path", spec)
+		}
+		recs, err := unijoin.ReadRecordFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(name, recs); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range unis {
+		name, countStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -uniform %q: want name=N", spec)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -uniform count %q", countStr)
+		}
+		// Distinct per-relation seeds so two -uniform relations differ.
+		if err := add(name, datagen.Uniform(seed+int64(len(cat.Names())), n, u, maxExt)); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range tigers {
+		setName, scaleStr, hasScale := strings.Cut(spec, ":")
+		scale := 0.01
+		if hasScale {
+			s, err := strconv.ParseFloat(scaleStr, 64)
+			if err != nil || s <= 0 || s > 1 {
+				return nil, fmt.Errorf("bad -tiger scale %q", scaleStr)
+			}
+			scale = s
+		}
+		ts, err := tiger.SpecByName(setName)
+		if err != nil {
+			return nil, err
+		}
+		cfg := tiger.Config{Scale: scale, Seed: seed, Clusters: 40}
+		roads, hydro := cfg.Generate(ts)
+		if err := add(ts.Name+".roads", roads); err != nil {
+			return nil, err
+		}
+		if err := add(ts.Name+".hydro", hydro); err != nil {
+			return nil, err
+		}
+	}
+	for name, used := range explicitIndex {
+		if !used {
+			return nil, fmt.Errorf("-index names unknown relation %q (have: %s)",
+				name, strings.Join(cat.Names(), ", "))
+		}
+	}
+	return cat, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sjserved:", err)
+	os.Exit(1)
+}

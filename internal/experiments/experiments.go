@@ -10,8 +10,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -210,6 +212,53 @@ func (t *Table) String() string {
 	var b strings.Builder
 	t.Fprint(&b)
 	return b.String()
+}
+
+// FprintJSONL renders the table as NDJSON, one self-describing object
+// per row — the machine-readable form behind sjbench -json, meant to
+// be appended to a benchmark trajectory and diffed across commits.
+// Keys are the header labels lowercased with spaces and slashes
+// folded to underscores; purely numeric cells become JSON numbers.
+func (t *Table) FprintJSONL(w io.Writer) error {
+	keys := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		keys[i] = jsonKey(h)
+	}
+	enc := json.NewEncoder(w)
+	for _, row := range t.Rows {
+		obj := make(map[string]any, len(row)+1)
+		obj["experiment"] = t.ID
+		for i, cell := range row {
+			if i >= len(keys) {
+				break
+			}
+			obj[keys[i]] = jsonCell(cell)
+		}
+		if err := enc.Encode(obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonKey folds a header label to a stable JSON field name.
+func jsonKey(h string) string {
+	k := strings.ToLower(h)
+	for _, cut := range []string{" ", "/", "-"} {
+		k = strings.ReplaceAll(k, cut, "_")
+	}
+	return strings.Trim(k, "_")
+}
+
+// jsonCell parses a formatted cell back to a number when it is one.
+func jsonCell(c string) any {
+	if n, err := strconv.ParseInt(c, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(c, 64); err == nil {
+		return f
+	}
+	return c
 }
 
 // mb formats a byte count in MB with two decimals.

@@ -25,6 +25,7 @@ package iosim
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // PageID identifies one page on the simulated disk. Pages are numbered
@@ -87,10 +88,20 @@ func (c Counters) String() string {
 }
 
 // Store is the simulated disk: a growable array of fixed-size pages
-// with access counting. Store is not safe for concurrent use; the
-// paper's algorithms are single-threaded and careful sequencing is
-// exactly what is being measured.
+// with access counting. Store is safe for concurrent use: allocation,
+// page access, and counter reads are serialized by an internal mutex,
+// so several queries may run against one workspace at once (the query
+// service does exactly this). Two caveats follow from sharing one
+// disk: the counters accumulate the I/O of every concurrent query, so
+// per-query deltas are only exact when queries run one at a time, and
+// the sequential/random classification reflects the interleaved head
+// movement of all of them — exactly as on real shared hardware. Page
+// *contents* are protected only per access: concurrent readers are
+// fine, as is writing pages no other goroutine touches (each query
+// writes only its own temporary files), but racing writers on one
+// page are the caller's bug.
 type Store struct {
+	mu       sync.Mutex
 	pageSize int
 	pages    [][]byte
 
@@ -182,21 +193,35 @@ func NewStore(pageSize int) *Store {
 func (s *Store) PageSize() int { return s.pageSize }
 
 // NumPages returns the number of allocated pages.
-func (s *Store) NumPages() int { return len(s.pages) }
+func (s *Store) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
 
 // Counters returns the accumulated access counters under the
 // segmented-cache model (drives with a large on-disk buffer).
-func (s *Store) Counters() Counters { return s.counters }
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
 
 // DirectCounters returns the counters under the single-stream model
 // (drives whose cache cannot track several sequential streams, like
 // Machine 2's 128 KB Medalist).
-func (s *Store) DirectCounters() Counters { return s.directCounters }
+func (s *Store) DirectCounters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.directCounters
+}
 
 // ResetCounters zeroes both counter sets (allocation state is kept).
 // Head positions are also forgotten so the next access is random,
 // matching a cold start.
 func (s *Store) ResetCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.counters = Counters{}
 	s.directCounters = Counters{}
 	s.tracker.reset()
@@ -206,6 +231,8 @@ func (s *Store) ResetCounters() {
 // Alloc allocates one zeroed page and returns its ID. Allocation does
 // not count as I/O; the paper charges only reads and writes.
 func (s *Store) Alloc() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := PageID(len(s.pages))
 	s.pages = append(s.pages, make([]byte, s.pageSize))
 	return id
@@ -219,6 +246,8 @@ func (s *Store) AllocN(n int) PageID {
 	if n <= 0 {
 		panic("iosim: AllocN requires n > 0")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if lst := s.free[n]; len(lst) > 0 {
 		id := lst[len(lst)-1]
 		s.free[n] = lst[:len(lst)-1]
@@ -237,6 +266,8 @@ func (s *Store) AllocN(n int) PageID {
 // entry point. Releasing is free in simulated time (deleting a temp
 // file costs no data transfer).
 func (s *Store) Release(first PageID, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if int(first)+n > len(s.pages) {
 		panic(fmt.Sprintf("iosim: release of unallocated extent %d+%d", first, n))
 	}
@@ -251,6 +282,8 @@ func (s *Store) Release(first PageID, n int) {
 // not retain it across a WritePage to the same page. This zero-copy
 // contract mirrors the memory-mapped BTE the paper uses for R-trees.
 func (s *Store) ReadPage(p PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if int(p) >= len(s.pages) {
 		return nil, fmt.Errorf("%w: read %d of %d", ErrPageBounds, p, len(s.pages))
 	}
@@ -261,6 +294,8 @@ func (s *Store) ReadPage(p PageID) ([]byte, error) {
 // WritePage replaces the contents of page p with src, which must be
 // exactly one page long.
 func (s *Store) WritePage(p PageID, src []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if int(p) >= len(s.pages) {
 		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, p, len(s.pages))
 	}
@@ -276,6 +311,8 @@ func (s *Store) WritePage(p PageID, src []byte) error {
 // write. It is the in-place counterpart of WritePage for builders that
 // fill a page incrementally (e.g. R-tree bulk loading).
 func (s *Store) WritablePage(p PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if int(p) >= len(s.pages) {
 		return nil, fmt.Errorf("%w: write %d of %d", ErrPageBounds, p, len(s.pages))
 	}

@@ -31,11 +31,19 @@ func Get() []geom.Pair {
 	return (*pool.Get().(*[]geom.Pair))[:0]
 }
 
-// Put returns a buffer to the pool. Buffers that joins grew past
-// BatchSize are returned as-is (their larger capacity is reused);
-// callers must not touch the slice after Put.
+// maxPooledCap bounds the capacity Put keeps: a join that grew a
+// buffer moderately past BatchSize donates the larger capacity for
+// reuse, but the outsized buffers a huge-output query can build (the
+// parallel engine appends a whole partition's results) are dropped,
+// so one large query does not pin its high-water-mark memory in a
+// long-lived server's pool forever.
+const maxPooledCap = 4 * BatchSize
+
+// Put returns a buffer to the pool; callers must not touch the slice
+// after Put. Undersized and grossly oversized buffers are dropped
+// (see maxPooledCap).
 func Put(buf []geom.Pair) {
-	if cap(buf) < BatchSize {
+	if cap(buf) < BatchSize || cap(buf) > maxPooledCap {
 		return
 	}
 	buf = buf[:0]

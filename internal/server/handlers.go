@@ -1,0 +1,344 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"unijoin"
+	"unijoin/client"
+)
+
+// maxBodyBytes bounds request bodies; join/window requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// maxParallelism caps the per-request worker count: the parallel
+// engine sizes partition structures from it, so an unclamped request
+// value would let one client allocate the service to death. 256
+// workers is far past any host this serves.
+const maxParallelism = 256
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	names := s.cat.Names()
+	out := make([]client.RelationInfo, 0, len(names))
+	for _, name := range names {
+		rel, ok := s.cat.Get(name)
+		if !ok { // dropped between Names and Get
+			continue
+		}
+		out = append(out, relationInfo(name, rel))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	s.metrics.joins.Add(1)
+	var req client.JoinRequest
+	if apiErr := decodeBody(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	left, ok := s.cat.Get(req.Left)
+	if !ok {
+		writeError(w, notFoundErr("left", req.Left))
+		return
+	}
+	right, ok := s.cat.Get(req.Right)
+	if !ok {
+		writeError(w, notFoundErr("right", req.Right))
+		return
+	}
+	alg, err := unijoin.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, badRequestErr(err))
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMillis)
+	defer cancel()
+
+	parallelism := min(max(req.Parallelism, 0), maxParallelism)
+	q := s.cat.Workspace().Query(left, right).Algorithm(alg).Parallelism(parallelism)
+	if req.Window != nil {
+		q.Window(toRect(*req.Window))
+	}
+	lw := newLineWriter(w)
+	var pairs [][2]uint32
+	if req.CountOnly {
+		q.CountOnly()
+	} else {
+		pairs = make([][2]uint32, 0, s.batch)
+		q.EmitBatch(func(batch []unijoin.Pair) {
+			for len(batch) > 0 {
+				n := min(len(batch), s.batch-len(pairs))
+				for _, p := range batch[:n] {
+					pairs = append(pairs, [2]uint32{p.Left, p.Right})
+				}
+				batch = batch[n:]
+				if len(pairs) == s.batch {
+					s.metrics.pairsStreamed.Add(int64(len(pairs)))
+					lw.writeLine(client.JoinLine{Pairs: pairs})
+					pairs = pairs[:0]
+				}
+			}
+		})
+	}
+	start := time.Now()
+	res, err := q.Run(ctx)
+	if err != nil {
+		s.finishError(lw, err, func(e *client.APIError) any { return client.JoinLine{Error: e} })
+		return
+	}
+	if len(pairs) > 0 {
+		s.metrics.pairsStreamed.Add(int64(len(pairs)))
+		lw.writeLine(client.JoinLine{Pairs: pairs})
+	}
+	lw.writeLine(client.JoinLine{Summary: joinSummary(req, alg, left, right, res, start)})
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	s.metrics.windows.Add(1)
+	var req client.WindowRequest
+	if apiErr := decodeBody(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	rel, ok := s.cat.Get(req.Relation)
+	if !ok {
+		writeError(w, notFoundErr("relation", req.Relation))
+		return
+	}
+	if req.Window == nil {
+		writeError(w, badRequestErr(fmt.Errorf("window query needs a \"window\" rectangle")))
+		return
+	}
+	ctx, cancel := requestContext(r, req.TimeoutMillis)
+	defer cancel()
+
+	lw := newLineWriter(w)
+	var emit func(unijoin.Record)
+	var recs []client.RecordOut
+	if !req.CountOnly {
+		recs = make([]client.RecordOut, 0, s.batch)
+		emit = func(rec unijoin.Record) {
+			recs = append(recs, client.RecordOut{ID: rec.ID, Rect: fromRect(rec.Rect)})
+			if len(recs) == s.batch {
+				s.metrics.recordsStreamed.Add(int64(len(recs)))
+				lw.writeLine(client.WindowLine{Records: recs})
+				recs = recs[:0]
+			}
+		}
+	}
+	start := time.Now()
+	n, err := rel.WindowQuery(ctx, toRect(*req.Window), emit)
+	if err != nil {
+		s.finishError(lw, err, func(e *client.APIError) any { return client.WindowLine{Error: e} })
+		return
+	}
+	if len(recs) > 0 {
+		s.metrics.recordsStreamed.Add(int64(len(recs)))
+		lw.writeLine(client.WindowLine{Records: recs})
+	}
+	lw.writeLine(client.WindowLine{Summary: &client.WindowSummary{
+		Relation:      req.Relation,
+		Records:       n,
+		Indexed:       rel.Indexed(),
+		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+	}})
+}
+
+// requestContext narrows the request's context (which already carries
+// the middleware's server-side ceiling and the client-disconnect
+// signal) by the request body's own timeout, if any.
+func requestContext(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if timeoutMillis > 0 {
+		return context.WithTimeout(ctx, time.Duration(timeoutMillis)*time.Millisecond)
+	}
+	return context.WithCancel(ctx)
+}
+
+// joinSummary assembles the terminal line of a join response.
+func joinSummary(req client.JoinRequest, alg unijoin.Algorithm, left, right *unijoin.Relation, res *unijoin.Results, start time.Time) *client.JoinSummary {
+	return &client.JoinSummary{
+		Left:          req.Left,
+		Right:         req.Right,
+		Algorithm:     alg.String(),
+		Pairs:         res.Count(),
+		LeftRecords:   left.Len(),
+		RightRecords:  right.Len(),
+		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+	}
+}
+
+// relationInfo maps a cataloged relation to its wire description. An
+// empty relation's MBR is the invalid ±Inf rectangle, which JSON
+// cannot carry — it is reported as the zero rectangle instead.
+func relationInfo(name string, rel *unijoin.Relation) client.RelationInfo {
+	info := client.RelationInfo{
+		Name:       name,
+		Records:    rel.Len(),
+		Indexed:    rel.Indexed(),
+		DataBytes:  rel.DataBytes(),
+		IndexBytes: rel.IndexBytes(),
+	}
+	if mbr := rel.MBR(); mbr.Valid() {
+		info.MBR = fromRect(mbr)
+	}
+	return info
+}
+
+// finishError reports a failed query: as a proper HTTP status when
+// nothing has been streamed yet, or as a terminal error line when the
+// response is already under way (the status line is long gone by
+// then). Cancellations are counted separately — they are load
+// shedding, not bugs.
+func (s *Server) finishError(lw *lineWriter, err error, wrap func(*client.APIError) any) {
+	apiErr := errorFor(err)
+	if apiErr.Code == client.CodeCanceled {
+		s.metrics.canceled.Add(1)
+	}
+	if !lw.started {
+		writeError(lw.w, apiErr) // the middleware counts non-canceled statuses
+		return
+	}
+	if apiErr.Code != client.CodeCanceled {
+		s.metrics.errors.Add(1)
+	}
+	lw.writeLine(wrap(apiErr))
+}
+
+// errorFor classifies a query error into the API's error space.
+func errorFor(err error) *client.APIError {
+	switch {
+	case errors.Is(err, unijoin.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return &client.APIError{
+			Status: http.StatusGatewayTimeout, Code: client.CodeCanceled,
+			Message: err.Error(),
+		}
+	case errors.Is(err, unijoin.ErrNeedsIndex):
+		return &client.APIError{
+			Status: http.StatusUnprocessableEntity, Code: client.CodeNeedsIndex,
+			Message: err.Error(),
+		}
+	case errors.Is(err, unijoin.ErrNilRelation):
+		return &client.APIError{
+			Status: http.StatusNotFound, Code: client.CodeNotFound,
+			Message: err.Error(),
+		}
+	default:
+		return &client.APIError{
+			Status: http.StatusInternalServerError, Code: client.CodeInternal,
+			Message: err.Error(),
+		}
+	}
+}
+
+// notFoundErr is the unknown-relation error.
+func notFoundErr(side, name string) *client.APIError {
+	return &client.APIError{
+		Status: http.StatusNotFound, Code: client.CodeNotFound,
+		Message: fmt.Sprintf("%s relation %q is not in the catalog", side, name),
+	}
+}
+
+// badRequestErr wraps a request-shape problem.
+func badRequestErr(err error) *client.APIError {
+	return &client.APIError{
+		Status: http.StatusBadRequest, Code: client.CodeBadRequest,
+		Message: err.Error(),
+	}
+}
+
+// decodeBody parses a JSON request body, returning an API error for
+// anything malformed.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) *client.APIError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequestErr(fmt.Errorf("bad request body: %w", err))
+	}
+	return nil
+}
+
+// lineWriter emits NDJSON lines, flushing each one so clients see
+// results as they are produced. started flips once any bytes have
+// reached the client — the point of no return for the status code.
+// Write failures (a vanished client) are swallowed: the query itself
+// is aborted separately through the request context.
+type lineWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+func newLineWriter(w http.ResponseWriter) *lineWriter {
+	f, _ := w.(http.Flusher)
+	return &lineWriter{w: w, flusher: f}
+}
+
+func (lw *lineWriter) writeLine(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if !lw.started {
+		lw.w.Header().Set("Content-Type", "application/x-ndjson")
+		lw.started = true
+	}
+	lw.w.Write(append(data, '\n'))
+	if lw.flusher != nil {
+		lw.flusher.Flush()
+	}
+}
+
+// writeJSON sends a 200 with a plain JSON body, marshaling before any
+// byte is written so an unmarshalable value becomes a 500 rather
+// than a silently truncated 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, &client.APIError{
+			Status: http.StatusInternalServerError, Code: client.CodeInternal,
+			Message: "encoding response: " + err.Error(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// writeError sends a non-2xx JSON error body ({"error": {...}}).
+func writeError(w http.ResponseWriter, e *client.APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	json.NewEncoder(w).Encode(map[string]*client.APIError{"error": e})
+}
+
+// toRect converts a wire rectangle to a normalized unijoin.Rect.
+func toRect(r client.Rect) unijoin.Rect {
+	return unijoin.NewRect(
+		unijoin.Coord(r.XLo), unijoin.Coord(r.YLo),
+		unijoin.Coord(r.XHi), unijoin.Coord(r.YHi),
+	)
+}
+
+// fromRect converts a unijoin.Rect to its wire form.
+func fromRect(r unijoin.Rect) client.Rect {
+	return client.Rect{
+		XLo: float64(r.XLo), YLo: float64(r.YLo),
+		XHi: float64(r.XHi), YHi: float64(r.YHi),
+	}
+}

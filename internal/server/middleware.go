@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code a handler sends so the
+// logging middleware can report it. It forwards Flush so streaming
+// handlers keep working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument is the logging + metrics middleware: it counts the
+// request in and out and logs one line with the endpoint, status, and
+// wall time.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.requests.Add(1)
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		// Cancellations (504) are tallied in metrics.canceled by the
+		// handler — load shedding, not failures — so the errors
+		// counter stays alertable.
+		if rec.status >= 400 && rec.status != http.StatusGatewayTimeout {
+			s.metrics.errors.Add(1)
+		}
+		s.log.Info("request",
+			"endpoint", endpoint,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"elapsed", time.Since(start).Round(time.Microsecond).String(),
+		)
+	})
+}
+
+// withTimeout applies the server's per-request timeout ceiling to the
+// request context. The context already carries the client-disconnect
+// signal (net/http cancels it when the peer goes away), so handlers
+// see one context covering both ways a request can become pointless.
+func (s *Server) withTimeout(h http.HandlerFunc) http.HandlerFunc {
+	if s.timeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}

@@ -1,0 +1,137 @@
+// Package server implements sjserved's HTTP layer: a long-lived
+// spatial-join query service over an in-memory unijoin.Catalog.
+//
+// The catalog holds named, optionally pre-indexed relations resident
+// across requests; handlers execute joins through the public
+// Query(...).Run(ctx) API and window queries through
+// Relation.WindowQuery, streaming results as NDJSON (the wire types
+// live in the client package). Every request runs under a
+// context.Context assembled from the client's disconnect signal, the
+// server's per-request timeout ceiling, and an optional per-request
+// timeout, so an abandoned or over-budget query aborts mid-run with
+// ErrCanceled rather than burning the worker. Typed errors map onto
+// HTTP status codes: ErrNeedsIndex → 422, unknown relations → 404,
+// ErrCanceled → 504, malformed requests → 400.
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"unijoin"
+	"unijoin/client"
+)
+
+// DefaultBatchPairs is how many pairs or records one NDJSON batch
+// line carries at most.
+const DefaultBatchPairs = 1024
+
+// maxBatchPairs caps Config.BatchPairs. Window records are the fat
+// case: float32 coordinates marshal as float64 decimals of up to ~18
+// characters, so a record line item can reach ~130 JSON bytes; 4096
+// of them stay near half of the 1 MB line the bundled client's
+// scanner accepts.
+const maxBatchPairs = 4096
+
+// Config configures a Server.
+type Config struct {
+	// Catalog is the relation catalog to serve. Required.
+	Catalog *unijoin.Catalog
+	// Timeout is the server-side ceiling on each join/window request;
+	// a request's own timeout_ms may shorten it but never extend it.
+	// Zero means no ceiling.
+	Timeout time.Duration
+	// Logger receives one line per request; nil uses slog.Default().
+	Logger *slog.Logger
+	// BatchPairs caps the pairs (or records) per NDJSON line (default
+	// DefaultBatchPairs; clamped so every line fits the client
+	// package's line scanner).
+	BatchPairs int
+}
+
+// Server is the HTTP query service. Create with New, expose with
+// Handler, and run under any http.Server. All state a request touches
+// — the catalog, the metrics — is safe for concurrent use, so the
+// standard library's one-goroutine-per-request model needs no extra
+// coordination.
+type Server struct {
+	cat     *unijoin.Catalog
+	timeout time.Duration
+	log     *slog.Logger
+	batch   int
+	start   time.Time
+	mux     *http.ServeMux
+
+	metrics metrics
+}
+
+// metrics is the per-request accounting behind GET /v1/stats.
+type metrics struct {
+	requests        atomic.Int64
+	inFlight        atomic.Int64
+	joins           atomic.Int64
+	windows         atomic.Int64
+	errors          atomic.Int64
+	canceled        atomic.Int64
+	pairsStreamed   atomic.Int64
+	recordsStreamed atomic.Int64
+}
+
+// New builds a Server over cfg.Catalog.
+func New(cfg Config) *Server {
+	if cfg.Catalog == nil {
+		panic("server: Config.Catalog is required")
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	batch := cfg.BatchPairs
+	if batch <= 0 {
+		batch = DefaultBatchPairs
+	}
+	if batch > maxBatchPairs {
+		batch = maxBatchPairs
+	}
+	s := &Server{
+		cat:     cfg.Catalog,
+		timeout: cfg.Timeout,
+		log:     log,
+		batch:   batch,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /v1/relations", s.instrument("relations", s.handleRelations))
+	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("POST /v1/join", s.instrument("join", s.withTimeout(s.handleJoin)))
+	s.mux.Handle("POST /v1/window", s.instrument("window", s.withTimeout(s.handleWindow)))
+	s.mux.Handle("/", s.instrument("notfound", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &client.APIError{
+			Status: http.StatusNotFound, Code: client.CodeNotFound,
+			Message: "no such endpoint: " + r.Method + " " + r.URL.Path,
+		})
+	}))
+	return s
+}
+
+// Handler returns the service's HTTP handler, middleware included.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the server's counters (the body of GET /v1/stats).
+func (s *Server) Stats() client.Stats {
+	return client.Stats{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Relations:       s.cat.Len(),
+		Requests:        s.metrics.requests.Load(),
+		InFlight:        s.metrics.inFlight.Load(),
+		Joins:           s.metrics.joins.Load(),
+		Windows:         s.metrics.windows.Load(),
+		Errors:          s.metrics.errors.Load(),
+		Canceled:        s.metrics.canceled.Load(),
+		PairsStreamed:   s.metrics.pairsStreamed.Load(),
+		RecordsStreamed: s.metrics.recordsStreamed.Load(),
+	}
+}

@@ -77,6 +77,16 @@
 //		Run(ctx)
 //	fmt.Println(res.Count(), "pairs in", res.Parallel.Wall)
 //
+// # Serving queries
+//
+// A Catalog holds named, optionally indexed relations on one shared
+// workspace with single-writer loads and concurrent reads — the
+// resident state of a long-lived query process. Relation.WindowQuery
+// answers the selection counterpart of a join (all records
+// intersecting a rectangle) through the R-tree when one exists.
+// cmd/sjserved serves both query classes over HTTP with streaming
+// NDJSON responses; the client package is its Go client.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure plus the
 // wall-clock results of the parallel engine.
@@ -85,6 +95,7 @@ package unijoin
 import (
 	"context"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -133,6 +144,25 @@ func ParseRect(s string) (Rect, error) {
 	return NewRect(Coord(v[0]), Coord(v[1]), Coord(v[2]), Coord(v[3])), nil
 }
 
+// ReadRecordFile loads a real file of the paper's 20-byte MBR records
+// (the format sjgen writes) into memory — the loader shared by the
+// sjjoin and sjserved commands.
+func ReadRecordFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data)%geom.RecordSize != 0 {
+		return nil, fmt.Errorf("unijoin: %s: %d bytes is not a whole number of %d-byte records",
+			path, len(data), geom.RecordSize)
+	}
+	recs := make([]Record, 0, len(data)/geom.RecordSize)
+	for off := 0; off < len(data); off += geom.RecordSize {
+		recs = append(recs, geom.DecodeRecord(data[off:]))
+	}
+	return recs, nil
+}
+
 // Machine is a simulated hardware platform (CPU clock plus disk model).
 type Machine = iosim.Machine
 
@@ -173,6 +203,31 @@ const (
 	AlgParallel
 )
 
+// ParseAlgorithm maps an algorithm name (case-insensitive: "PQ",
+// "SSSJ", "PBSM", "ST", "auto", "BFRJ", "parallel") to its Algorithm
+// value — the parser behind sjjoin's -alg flag and the query service's
+// request decoding.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "PQ", "":
+		return AlgPQ, nil
+	case "SSSJ":
+		return AlgSSSJ, nil
+	case "PBSM":
+		return AlgPBSM, nil
+	case "ST":
+		return AlgST, nil
+	case "AUTO":
+		return AlgAuto, nil
+	case "BFRJ":
+		return AlgBFRJ, nil
+	case "PARALLEL":
+		return AlgParallel, nil
+	default:
+		return 0, fmt.Errorf("unijoin: unknown algorithm %q", s)
+	}
+}
+
 // String implements fmt.Stringer.
 func (a Algorithm) String() string {
 	switch a {
@@ -198,6 +253,15 @@ func (a Algorithm) String() string {
 // Workspace is a simulated disk holding relations and indexes. All
 // I/O performed by joins is counted on it; Counters and per-machine
 // cost reports are derived from those counts.
+//
+// Queries may run on one workspace concurrently (the simulated disk
+// serializes page access internally, and a query's temporary files
+// are its own); the query service does this for every request. The
+// shared counters then accumulate across all concurrent queries, so
+// per-query I/O deltas are only exact when queries run one at a
+// time. Loading relations and building indexes are not synchronized
+// with running queries — use a Catalog, which publishes relations
+// under a single-writer lock, when loads and queries overlap.
 type Workspace struct {
 	store    *iosim.Store
 	universe Rect
@@ -316,10 +380,13 @@ func (w *Workspace) universeFor(fallback Rect) Rect {
 	return NewRect(0, 0, 1, 1)
 }
 
-// JoinOptions tunes a join; nil means defaults. Fields mirror the
-// paper's experimental knobs. The Query builder methods and With*
-// options set the same fields; JoinOptions survives as the parameter
-// block of the deprecated wrappers.
+// JoinOptions is the knob block behind a Query: every field has a
+// builder method (Query.Window, Query.Parallelism, ...) and a
+// functional option (WithWindow, WithParallelism, ...), which are the
+// primary ways to set it — build a Query with ws.Query(a, b), not a
+// JoinOptions literal. The struct itself survives as the parameter
+// block of the deprecated Join/ParallelJoin wrappers. Fields mirror
+// the paper's experimental knobs; the zero value means defaults.
 type JoinOptions struct {
 	// MemoryBytes is the simulated internal memory (default 24 MB).
 	MemoryBytes int
@@ -341,10 +408,12 @@ type JoinOptions struct {
 	// ParallelPartitions overrides the parallel engine's stripe count
 	// (default: several stripes per worker for load balancing).
 	ParallelPartitions int
-	// Emit receives each result pair; nil counts only (the paper's
-	// accounting excludes output writing). AlgParallel calls Emit on
-	// the caller's goroutine in deterministic partition order after
-	// the concurrent phase, so the callback need not be thread-safe.
+	// Emit receives each result pair as the join finds it; see
+	// Query.Emit for where pairs go when it is nil (Query.Run buffers
+	// them for Results.Pairs unless CountOnly is set; the deprecated
+	// Join wrapper counts only). AlgParallel calls Emit on the
+	// caller's goroutine in deterministic partition order after the
+	// concurrent phase, so the callback need not be thread-safe.
 	Emit func(Pair)
 	// EmitBatch receives result pairs in pooled batches; see
 	// Query.EmitBatch. Mutually exclusive with Emit.
