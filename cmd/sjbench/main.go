@@ -18,9 +18,13 @@
 // time against the serial sweep, scaling the worker count up to N.
 // This is the non-simulated benchmark path; at the default scale the
 // uniform workload is the 100k-record set the benchmark trajectory
-// tracks. -window restricts the wall-clock joins to the given
-// rectangle (it has no effect on the paper-reproduction experiments,
-// whose tables are defined over the full data sets).
+// tracks. The table breaks the wall time into the chunked parallel
+// distribution prefix ("Part ms") and the sweep phase, and reports
+// the two-layer classification: the fraction of records local to one
+// stripe and the fraction of pairs emitted without the
+// reference-point test. -window restricts the wall-clock joins to the
+// given rectangle (it has no effect on the paper-reproduction
+// experiments, whose tables are defined over the full data sets).
 //
 // With -json, every measured run is emitted as one NDJSON object
 // (keys derived from the table's column headers, numeric cells as

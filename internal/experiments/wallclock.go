@@ -84,7 +84,8 @@ func Wallclock(ctx context.Context, cfg Config, maxWorkers int) (*Table, error) 
 		Title: fmt.Sprintf("Parallel in-memory engine, wall-clock (GOMAXPROCS=%d)",
 			runtime.GOMAXPROCS(0)),
 		Header: []string{"Workload", "Records", "Mode", "Workers", "Parts",
-			"Wall ms", "Sweep ms", "Pairs", "Repl", "Speedup"},
+			"Wall ms", "Part ms", "Sweep ms", "Pairs", "Repl",
+			"Local frac", "NoTest frac", "Speedup"},
 	}
 	for _, wl := range wallclockWorkloads(cfg) {
 		o := parallel.Options{Universe: wl.Universe, Window: cfg.Window}
@@ -94,8 +95,11 @@ func Wallclock(ctx context.Context, cfg Config, maxWorkers int) (*Table, error) 
 		}
 		recs := fmt.Sprintf("%d+%d", len(wl.A), len(wl.B))
 		t.AddRow(wl.Name, recs, "serial", "1", "1",
-			ms(serial.Wall), ms(serial.SweepWall),
-			fmt.Sprintf("%d", serial.Pairs), "1.000", "1.00")
+			ms(serial.Wall), ms(serial.PartitionWall), ms(serial.SweepWall),
+			fmt.Sprintf("%d", serial.Pairs), "1.000",
+			fmt.Sprintf("%.3f", serial.LocalFraction()),
+			fmt.Sprintf("%.3f", serial.NoTestFraction()),
+			"1.00")
 		for _, workers := range workerLadder(maxWorkers) {
 			o.Workers = workers
 			rep, err := bestOf(ctx, parallel.Join, wl.A, wl.B, o)
@@ -109,13 +113,17 @@ func Wallclock(ctx context.Context, cfg Config, maxWorkers int) (*Table, error) 
 			t.AddRow(wl.Name, recs, "parallel",
 				fmt.Sprintf("%d", rep.Workers),
 				fmt.Sprintf("%d", rep.Partitions),
-				ms(rep.Wall), ms(rep.SweepWall),
+				ms(rep.Wall), ms(rep.PartitionWall), ms(rep.SweepWall),
 				fmt.Sprintf("%d", rep.Pairs),
 				fmt.Sprintf("%.3f", rep.Replication),
+				fmt.Sprintf("%.3f", rep.LocalFraction()),
+				fmt.Sprintf("%.3f", rep.NoTestFraction()),
 				fmt.Sprintf("%.2f", rep.Speedup(serial)))
 		}
 	}
 	t.AddNote("best of %d runs; speedup is serial wall / parallel wall on this host", wallclockRepeats)
+	t.AddNote("Part ms is the chunked parallel distribution prefix (filter + two-layer classify)")
+	t.AddNote("Local/NoTest frac: stripe-local records and pairs emitted without the reference-point test")
 	t.AddNote("pair counts cross-checked against the serial sweep on every row")
 	return t, nil
 }

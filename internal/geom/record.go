@@ -24,6 +24,15 @@ const PairSize = 8
 type Record struct {
 	Rect Rect
 	ID   ID
+	// Local is the two-layer partitioning tag of the parallel engine:
+	// set on a partition's private copy of a record whose x-interval
+	// lies entirely inside that partition's stripe. A pair with a
+	// Local member can be generated in exactly one stripe, so the
+	// sweep emits it without the reference-point ownership test. The
+	// tag is transient, in-memory state — it is not part of the
+	// 20-byte on-disk format and does not round-trip through
+	// EncodeRecord/DecodeRecord.
+	Local bool
 }
 
 // Pair is one join result: the IDs of two intersecting MBRs, left from

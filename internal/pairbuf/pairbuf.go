@@ -64,10 +64,13 @@ func NewBatcher(fn func([]geom.Pair)) *Batcher {
 	return &Batcher{fn: fn, buf: Get()}
 }
 
-// Emit adds one pair, flushing when the buffer fills.
+// Emit adds one pair, flushing at the documented BatchSize threshold.
+// The threshold is independent of the buffer's capacity: a pool-
+// donated buffer may hold up to maxPooledCap pairs, and flushing only
+// when it filled would deliver batches 4x the contract.
 func (b *Batcher) Emit(p geom.Pair) {
 	b.buf = append(b.buf, p)
-	if len(b.buf) == cap(b.buf) {
+	if len(b.buf) >= BatchSize {
 		b.Flush()
 	}
 }

@@ -27,6 +27,31 @@ func TestPutRejectsUndersized(t *testing.T) {
 	}
 }
 
+func TestBatcherFlushesAtBatchSizeWithDonatedCapacity(t *testing.T) {
+	// A pool-donated buffer can arrive with up to maxPooledCap
+	// capacity; Emit must still deliver batches of BatchSize, not
+	// wait for the larger buffer to fill.
+	var batches []int
+	b := &Batcher{
+		fn:  func(ps []geom.Pair) { batches = append(batches, len(ps)) },
+		buf: make([]geom.Pair, 0, maxPooledCap),
+	}
+	for i := 0; i < 2*BatchSize+5; i++ {
+		b.Emit(geom.Pair{Left: geom.ID(i)})
+	}
+	b.Flush()
+	b.Release()
+	want := []int{BatchSize, BatchSize, 5}
+	if len(batches) != len(want) {
+		t.Fatalf("batch sizes = %v, want %v", batches, want)
+	}
+	for i, n := range want {
+		if batches[i] != n {
+			t.Fatalf("batch sizes = %v, want %v", batches, want)
+		}
+	}
+}
+
 func TestGrownBuffersAreKept(t *testing.T) {
 	b := make([]geom.Pair, 0, 4*BatchSize)
 	Put(b)

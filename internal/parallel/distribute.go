@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+
+	"unijoin/internal/geom"
+)
+
+// distCheckInterval is how many records a distribution worker
+// classifies between context checks, mirroring the sweep kernel's
+// cancellation granularity. Must be a power of two.
+const distCheckInterval = 8192
+
+// distSerialCutoff is the input size below which distribution runs
+// inline: spawning goroutines for a few thousand records costs more
+// than the classification itself.
+const distSerialCutoff = 4096
+
+// stripeFrags is one worker's private per-stripe output: fragment f
+// of stripe i holds the records worker f routed there, in input
+// order.
+type stripeFrags struct {
+	a, b [][]geom.Record
+}
+
+// distribution is the outcome of the two-layer parallel distribution
+// prefix: both inputs window-filtered, classified stripe-local vs
+// boundary-crossing, and routed into per-(worker, stripe) fragments.
+//
+// Fragments deliberately stay unconcatenated: each partition's sweep
+// concatenates its own fragments on the worker that sweeps it, so the
+// copy is part of the parallel sweep phase instead of a serial
+// barrier. Worker w owns the w-th contiguous chunk of each input, so
+// reading fragments in worker order reproduces the input order
+// exactly — the distribution is deterministic and independent of the
+// worker count.
+type distribution struct {
+	frags []stripeFrags // one per worker
+	// sizeA/sizeB are per-stripe totals across fragments (replicated
+	// records each side).
+	sizeA, sizeB []int
+
+	input      int64 // records passing the window, both sides
+	replicated int64 // stripe placements, both sides
+	local      int64 // records contained in a single stripe
+	boundary   int64 // records crossing at least one stripe boundary
+}
+
+// fragsFor returns partition i's fragments for both sides, in worker
+// order.
+func (d *distribution) fragsFor(i int) (fa, fb [][]geom.Record) {
+	fa = make([][]geom.Record, 0, len(d.frags))
+	fb = make([][]geom.Record, 0, len(d.frags))
+	for w := range d.frags {
+		if f := d.frags[w].a[i]; len(f) > 0 {
+			fa = append(fa, f)
+		}
+		if f := d.frags[w].b[i]; len(f) > 0 {
+			fb = append(fb, f)
+		}
+	}
+	return fa, fb
+}
+
+// distCounters is one worker's private tally, merged after the
+// distribution barrier.
+type distCounters struct {
+	input, replicated, local, boundary int64
+}
+
+// distributeChunk window-filters and classifies one contiguous chunk
+// of an input, appending into the worker's private buckets. Records
+// whose x-interval lies inside one stripe are tagged Local; crossing
+// records are replicated untagged into every stripe they overlap.
+// It checks ctx every distCheckInterval records.
+func distributeChunk(ctx context.Context, part *Partitioner, recs []geom.Record,
+	window *geom.Rect, buckets [][]geom.Record, c *distCounters) error {
+	for n, r := range recs {
+		if n&(distCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if window != nil && !r.Rect.Intersects(*window) {
+			continue
+		}
+		c.input++
+		first, last := part.Range(r.Rect)
+		if first == last {
+			r.Local = true
+			buckets[first] = append(buckets[first], r)
+			c.local++
+			c.replicated++
+			continue
+		}
+		r.Local = false
+		for i := first; i <= last; i++ {
+			buckets[i] = append(buckets[i], r)
+		}
+		c.boundary++
+		c.replicated += int64(last - first + 1)
+	}
+	return nil
+}
+
+// chunk returns the w-th of nw contiguous chunks of a slice of length
+// n, the static split distribution workers own.
+func chunk(n, w, nw int) (lo, hi int) {
+	return n * w / nw, n * (w + 1) / nw
+}
+
+// distribute runs the two-layer distribution prefix of the parallel
+// join: nw workers each filter, classify, and route their private
+// chunk of both inputs into per-(worker, stripe) fragments — no
+// shared state, no locks — then the per-worker counters are summed.
+// With one worker or tiny inputs everything runs inline on the
+// calling goroutine.
+func distribute(ctx context.Context, part *Partitioner, a, b []geom.Record, window *geom.Rect, nw int) (*distribution, error) {
+	k := part.Partitions()
+	if len(a)+len(b) < distSerialCutoff {
+		nw = 1
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	d := &distribution{
+		frags: make([]stripeFrags, nw),
+		sizeA: make([]int, k),
+		sizeB: make([]int, k),
+	}
+	counters := make([]distCounters, nw)
+	errs := make([]error, nw)
+	run := func(w int) {
+		d.frags[w] = stripeFrags{
+			a: make([][]geom.Record, k),
+			b: make([][]geom.Record, k),
+		}
+		alo, ahi := chunk(len(a), w, nw)
+		blo, bhi := chunk(len(b), w, nw)
+		if err := distributeChunk(ctx, part, a[alo:ahi], window, d.frags[w].a, &counters[w]); err != nil {
+			errs[w] = err
+			return
+		}
+		errs[w] = distributeChunk(ctx, part, b[blo:bhi], window, d.frags[w].b, &counters[w])
+	}
+	if nw == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				run(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for w := 0; w < nw; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		d.input += counters[w].input
+		d.replicated += counters[w].replicated
+		d.local += counters[w].local
+		d.boundary += counters[w].boundary
+		for i := 0; i < k; i++ {
+			d.sizeA[i] += len(d.frags[w].a[i])
+			d.sizeB[i] += len(d.frags[w].b[i])
+		}
+	}
+	return d, nil
+}
+
+// concatFrags copies fragments, in order, into one right-sized slice
+// — the per-partition reassembly the sweep worker performs before
+// sorting.
+func concatFrags(frags [][]geom.Record, n int) []geom.Record {
+	out := make([]geom.Record, 0, n)
+	for _, f := range frags {
+		out = append(out, f...)
+	}
+	return out
+}

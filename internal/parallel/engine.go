@@ -17,10 +17,22 @@ import (
 // once (left component from a), regardless of how many stripes the
 // pair's rectangles were replicated into.
 //
+// Both phases are parallel. The distribution prefix splits each input
+// into per-worker chunks that are window-filtered, classified
+// stripe-local vs boundary-crossing, and routed into private
+// per-(worker, stripe) fragments with no locks, so
+// Report.PartitionWall scales with Workers. The sweep phase drains
+// the partitions on a worker pool; each partition concatenates its
+// fragments, sorts, and sweeps, emitting local-member pairs with no
+// ownership test (they can only be generated in one stripe) and
+// testing boundary×boundary pairs against the stripe's reference-
+// point range.
+//
 // The worker pool drains a partition channel and selects on
 // ctx.Done(), so canceling the context stops every worker at its next
 // partition boundary (and, through the sweep kernel's periodic
-// checks, mid-partition too); Join then returns ctx's error.
+// checks, mid-partition too); the distribution workers poll ctx the
+// same way. Join then returns ctx's error.
 func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -35,24 +47,25 @@ func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 	start := time.Now()
 	rep := Report{Workers: o.Workers}
 
-	a = filterWindow(a, o.Window)
-	b = filterWindow(b, o.Window)
-	rep.InputRecords = int64(len(a) + len(b))
-
-	part := NewPartitioner(o.Universe, o.Partitions, a, b)
+	part := NewPartitionerWindowed(o.Universe, o.Partitions, o.Window, a, b)
 	k := part.Partitions()
 	rep.Partitions = k
 	if o.Workers > k {
 		rep.Workers = k
 	}
-	bucketsA := make([][]geom.Record, k)
-	bucketsB := make([][]geom.Record, k)
-	rep.ReplicatedRecords = part.Distribute(a, bucketsA) + part.Distribute(b, bucketsB)
+	dist, err := distribute(ctx, part, a, b, o.Window, o.Workers)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.InputRecords = dist.input
+	rep.ReplicatedRecords = dist.replicated
+	rep.LocalRecords = dist.local
+	rep.BoundaryRecords = dist.boundary
 	if rep.InputRecords > 0 {
 		rep.Replication = float64(rep.ReplicatedRecords) / float64(rep.InputRecords)
 	}
 	for i := 0; i < k; i++ {
-		if n := len(bucketsA[i]) + len(bucketsB[i]); n > rep.MaxPartitionRecords {
+		if n := dist.sizeA[i] + dist.sizeB[i]; n > rep.MaxPartitionRecords {
 			rep.MaxPartitionRecords = n
 		}
 	}
@@ -65,6 +78,7 @@ func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 	collect := o.Emit != nil || o.EmitBatch != nil
 	buffers := make([][]geom.Pair, k)
 	partStats := make([]sweep.Stats, k)
+	noTest := make([]int64, k)
 	rep.PerWorker = make([]WorkerStats, rep.Workers)
 	work := make(chan int, k)
 	for i := 0; i < k; i++ {
@@ -91,14 +105,14 @@ func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 					}
 				}
 				t0 := time.Now()
-				pairs, err := sweepPartition(ctx, part, i, bucketsA[i], bucketsB[i], o,
-					&partStats[i], &buffers[i], collect)
+				pairs, err := sweepPartition(ctx, part, i, dist, o,
+					&partStats[i], &noTest[i], &buffers[i], collect)
 				if err != nil {
 					errs <- err
 					return
 				}
 				ws.Partitions++
-				ws.Records += int64(len(bucketsA[i]) + len(bucketsB[i]))
+				ws.Records += int64(dist.sizeA[i] + dist.sizeB[i])
 				ws.Pairs += pairs
 				ws.Busy += time.Since(t0)
 			}
@@ -127,6 +141,9 @@ func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 
 	for _, ws := range rep.PerWorker {
 		rep.Pairs += ws.Pairs
+	}
+	for _, n := range noTest {
+		rep.NoTestPairs += n
 	}
 	for _, st := range partStats {
 		rep.Sweep.Pairs += st.Pairs
@@ -161,18 +178,25 @@ func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 	return rep, nil
 }
 
-// sweepPartition sorts one partition's buckets and sweeps them,
-// counting only the pairs this partition owns. It mutates the buckets
-// in place (they are private to the partition) and fills the
-// partition's stat and buffer slots; with collect set, the output
-// buffer is borrowed from the pairbuf pool.
-func sweepPartition(ctx context.Context, part *Partitioner, i int, ra, rb []geom.Record, o Options,
-	stats *sweep.Stats, buffer *[]geom.Pair, collect bool) (int64, error) {
+// sweepPartition reassembles one partition from its distribution
+// fragments, sorts both sides, and sweeps them, counting only the
+// pairs this partition owns: pairs with a stripe-local member are
+// emitted with no ownership test (the two-layer fast path — a Local
+// record exists in exactly one stripe, so the pair cannot be seen
+// anywhere else), while boundary×boundary pairs pay the reference-
+// point test against the stripe's owner range. It fills the
+// partition's stat, no-test, and buffer slots; with collect set, the
+// output buffer is borrowed from the pairbuf pool.
+func sweepPartition(ctx context.Context, part *Partitioner, i int, dist *distribution, o Options,
+	stats *sweep.Stats, noTest *int64, buffer *[]geom.Pair, collect bool) (int64, error) {
+	fa, fb := dist.fragsFor(i)
+	ra := concatFrags(fa, dist.sizeA[i])
+	rb := concatFrags(fb, dist.sizeB[i])
 	sort.Slice(ra, func(x, y int) bool { return geom.ByLowerY(ra[x], ra[y]) < 0 })
 	sort.Slice(rb, func(x, y int) bool { return geom.ByLowerY(rb[x], rb[y]) < 0 })
 	stripe := part.Stripe(i)
 	ownLo, ownHi := part.OwnerRange(i)
-	var pairs int64
+	var pairs, skipped int64
 	var buf []geom.Pair
 	if collect {
 		buf = pairbuf.Get()
@@ -181,14 +205,20 @@ func sweepPartition(ctx context.Context, part *Partitioner, i int, ra, rb []geom
 		sweep.NewSliceSource(ra), sweep.NewSliceSource(rb),
 		o.newStructure(stripe), o.newStructure(stripe),
 		func(x, y geom.Record) {
-			// Reference-point test: the pair belongs to the stripe
-			// containing the intersection's left edge.
-			ref := x.Rect.XLo
-			if y.Rect.XLo > ref {
-				ref = y.Rect.XLo
-			}
-			if ref < ownLo || ref >= ownHi {
-				return // this pair is owned by another stripe
+			if !x.Local && !y.Local {
+				// Both records cross stripe boundaries, so the pair
+				// meets in several stripes; the reference-point test
+				// — the pair belongs to the stripe containing the
+				// intersection's left edge — keeps exactly one copy.
+				ref := x.Rect.XLo
+				if y.Rect.XLo > ref {
+					ref = y.Rect.XLo
+				}
+				if ref < ownLo || ref >= ownHi {
+					return // this pair is owned by another stripe
+				}
+			} else {
+				skipped++
 			}
 			pairs++
 			if collect {
@@ -200,6 +230,7 @@ func sweepPartition(ctx context.Context, part *Partitioner, i int, ra, rb []geom
 		return 0, err
 	}
 	*stats = st
+	*noTest = skipped
 	if collect {
 		*buffer = buf
 	}
@@ -211,36 +242,47 @@ func sweepPartition(ctx context.Context, part *Partitioner, i int, ra, rb []geom
 // universe — SSSJ's kernel without the simulated disk. The inputs are
 // not modified; Emit (if set) is called in sweep order as pairs are
 // found, and EmitBatch receives pooled batches in the same order.
+//
+// Serial's report mirrors Join's accounting for the degenerate
+// one-stripe case: every record is local to the single partition and
+// every pair is emitted without an ownership test, so LocalRecords
+// equals InputRecords and NoTestPairs equals Pairs. Replication is 1
+// for non-empty inputs and 0 for empty ones, as documented on Report.
 func Serial(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if _, err := o.withDefaults(); err != nil {
+	o, err := o.withDefaults()
+	if err != nil {
 		return Report{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
 	}
 	start := time.Now()
-	rep := Report{Workers: 1, Partitions: 1, Replication: 1}
+	rep := Report{Workers: 1, Partitions: 1}
 
 	sa := append([]geom.Record(nil), filterWindow(a, o.Window)...)
 	sb := append([]geom.Record(nil), filterWindow(b, o.Window)...)
 	rep.InputRecords = int64(len(sa) + len(sb))
 	rep.ReplicatedRecords = rep.InputRecords
+	rep.LocalRecords = rep.InputRecords
+	if rep.InputRecords > 0 {
+		rep.Replication = 1
+	}
 	rep.MaxPartitionRecords = len(sa) + len(sb)
 	rep.PartitionWall = time.Since(start)
 
 	sweepStart := time.Now()
 	sort.Slice(sa, func(x, y int) bool { return geom.ByLowerY(sa[x], sa[y]) < 0 })
 	sort.Slice(sb, func(x, y int) bool { return geom.ByLowerY(sb[x], sb[y]) < 0 })
-	strips := o.Strips
-	if strips <= 0 {
-		strips = sweep.DefaultStrips
-	}
 	mk := func() sweep.Structure {
 		if o.UseForwardSweep {
 			return sweep.NewForward()
+		}
+		strips := o.Strips
+		if strips <= 0 {
+			strips = sweep.DefaultStrips
 		}
 		return sweep.NewStripedFor(o.Universe, strips)
 	}
@@ -266,6 +308,7 @@ func Serial(ctx context.Context, a, b []geom.Record, o Options) (Report, error) 
 		return Report{}, sweepErr
 	}
 	rep.Pairs = st.Pairs
+	rep.NoTestPairs = st.Pairs
 	rep.Sweep = st
 	rep.SweepWall = time.Since(sweepStart)
 	rep.Wall = time.Since(start)

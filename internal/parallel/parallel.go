@@ -15,14 +15,25 @@
 // the duplicate-elimination trick. The design here:
 //
 //   - The universe is cut into K stripes along x. Stripe boundaries
-//     are sample quantiles of the records' x-centers, so clustered
-//     inputs (TIGER-like cities) still split into balanced pieces.
-//   - Each record is replicated into every stripe its x-interval
-//     overlaps. A pair of intersecting rectangles therefore meets in
-//     one or more common stripes; it is reported only in the stripe
-//     containing its reference point — the lower-x corner of the
-//     pairwise intersection — so every result is emitted exactly once
-//     with no cross-partition coordination.
+//     are sample quantiles of the records' x-centers (deduplicated so
+//     they are strictly increasing), so clustered inputs (TIGER-like
+//     cities) still split into balanced pieces.
+//   - Distribution itself is parallel: each input is split into
+//     per-worker chunks, and each worker window-filters and routes
+//     its chunk into private per-(worker, stripe) fragments with no
+//     locks, so the prefix ahead of the sweep scales with the worker
+//     count instead of being an Amdahl floor. Fragments are
+//     concatenated per partition by the worker that sweeps it.
+//   - Distribution is two-layer (following Tsitsigkos et al. 2023):
+//     a record whose x-interval lies inside one stripe is tagged
+//     stripe-local; only records crossing a boundary are replicated
+//     into every stripe they overlap. A pair with a local member can
+//     be generated in exactly one stripe and is emitted with no
+//     per-pair test at all — the dominant class on realistic data —
+//     while boundary×boundary pairs are reported only in the stripe
+//     containing their reference point, the lower-x corner of the
+//     pairwise intersection. Either way every result is emitted
+//     exactly once with no cross-partition coordination.
 //   - A worker pool of Options.Workers goroutines drains the K
 //     partitions dynamically (K defaults to several partitions per
 //     worker, so a dense stripe does not straggle the join). Each
@@ -77,8 +88,10 @@ type Options struct {
 	// pool can rebalance around dense stripes; minimum Workers).
 	Partitions int
 
-	// Strips is the striped-sweep strip count per partition (default
-	// DefaultStripsPerPartition). Ignored with UseForwardSweep.
+	// Strips is the striped-sweep strip count. When zero, Join uses
+	// DefaultStripsPerPartition per stripe and Serial uses
+	// sweep.DefaultStrips for its single global sweep. Ignored with
+	// UseForwardSweep.
 	Strips int
 	// UseForwardSweep switches the per-partition kernel to the
 	// Forward-Sweep structure (same ablation knob as the serial path).
@@ -121,9 +134,6 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Partitions < o.Workers {
 		o.Partitions = o.Workers
 	}
-	if o.Strips <= 0 {
-		o.Strips = DefaultStripsPerPartition
-	}
 	return o, nil
 }
 
@@ -132,7 +142,11 @@ func (o Options) newStructure(stripe geom.Rect) sweep.Structure {
 	if o.UseForwardSweep {
 		return sweep.NewForward()
 	}
-	return sweep.NewStriped(stripe.XLo, stripe.XHi, o.Strips)
+	strips := o.Strips
+	if strips <= 0 {
+		strips = DefaultStripsPerPartition
+	}
+	return sweep.NewStriped(stripe.XLo, stripe.XHi, strips)
 }
 
 // WorkerStats reports what one worker goroutine did.
@@ -165,14 +179,30 @@ type Report struct {
 	InputRecords      int64
 	ReplicatedRecords int64
 	Replication       float64
+	// LocalRecords and BoundaryRecords split InputRecords by the
+	// two-layer classification: local records lie inside a single
+	// stripe (and are never replicated), boundary records cross at
+	// least one stripe boundary. Serial counts every record local —
+	// its single partition is the whole universe.
+	LocalRecords    int64
+	BoundaryRecords int64
+	// NoTestPairs is how many of Pairs were emitted through the
+	// two-layer fast path, with no reference-point ownership test (at
+	// least one member of the pair was stripe-local). The remainder,
+	// Pairs - NoTestPairs, are boundary×boundary pairs that paid the
+	// test. Serial emits every pair untested.
+	NoTestPairs int64
 	// MaxPartitionRecords is the largest partition's record count
 	// (both sides), the load-balance indicator.
 	MaxPartitionRecords int
 
-	// Wall is the end-to-end time: filtering, partitioning, the
-	// parallel sweep, and the result merge. PartitionWall covers
-	// filtering and distribution (the serial prefix); SweepWall covers
-	// the parallel sort-and-sweep phase.
+	// Wall is the end-to-end time: partitioning, the parallel sweep,
+	// and the result merge. PartitionWall covers the whole prefix
+	// ahead of the sweep: the boundary estimation (a serial quantile
+	// sort of at most a few thousand sampled centers per input) plus
+	// the chunked parallel window-filter + classify + distribute
+	// phase, which scales with Workers. SweepWall covers the parallel
+	// sort-and-sweep phase.
 	Wall          time.Duration
 	PartitionWall time.Duration
 	SweepWall     time.Duration
@@ -197,10 +227,29 @@ func (r Report) Speedup(baseline Report) float64 {
 	return float64(baseline.Wall) / float64(r.Wall)
 }
 
+// LocalFraction returns the share of input records classified
+// stripe-local (0 for empty inputs).
+func (r Report) LocalFraction() float64 {
+	if r.InputRecords <= 0 {
+		return 0
+	}
+	return float64(r.LocalRecords) / float64(r.InputRecords)
+}
+
+// NoTestFraction returns the share of result pairs emitted without
+// the reference-point test (0 for empty results).
+func (r Report) NoTestFraction() float64 {
+	if r.Pairs <= 0 {
+		return 0
+	}
+	return float64(r.NoTestPairs) / float64(r.Pairs)
+}
+
 // String implements fmt.Stringer.
 func (r Report) String() string {
-	return fmt.Sprintf("parallel: %d pairs, %d workers x %d partitions, wall %v (partition %v, sweep %v), repl %.3f",
-		r.Pairs, r.Workers, r.Partitions, r.Wall, r.PartitionWall, r.SweepWall, r.Replication)
+	return fmt.Sprintf("parallel: %d pairs, %d workers x %d partitions, wall %v (partition %v, sweep %v), repl %.3f, local %.1f%%, no-test %.1f%%",
+		r.Pairs, r.Workers, r.Partitions, r.Wall, r.PartitionWall, r.SweepWall, r.Replication,
+		100*r.LocalFraction(), 100*r.NoTestFraction())
 }
 
 // filterWindow returns the records intersecting w, reusing the input

@@ -305,8 +305,9 @@ func TestPartitionerDegenerateUniverse(t *testing.T) {
 	if p.Partitions() != 1 {
 		t.Fatalf("degenerate universe partitions = %d", p.Partitions())
 	}
-	// With sampled data, all-equal centers give empty interior stripes
-	// but stay correct.
+	// With sampled data, all-equal centers collapse every duplicate
+	// quantile boundary, so the partitioner degrades to one stripe
+	// and stays correct.
 	recs := []geom.Record{
 		{Rect: geom.NewRect(5, 0, 5, 1), ID: 1},
 		{Rect: geom.NewRect(5, 0, 5, 2), ID: 2},

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"unijoin/internal/geom"
@@ -19,16 +20,31 @@ const sampleMax = 4096
 // width. Stripe membership clamps: everything left of the first
 // boundary belongs to stripe 0 and everything right of the last to
 // stripe K-1, so records straying outside the universe stay correct.
+//
+// Boundaries are strictly increasing: duplicate quantiles (heavily
+// clustered duplicate x-centers put the same value at several
+// quantile positions) are collapsed, so the partitioner may resolve
+// fewer stripes than requested but never produces a degenerate empty
+// stripe or a zero-width OwnerRange interval.
 type Partitioner struct {
 	universe geom.Rect
-	// bounds holds the K-1 internal boundaries in nondecreasing
+	// bounds holds the internal boundaries in strictly increasing
 	// order; stripe i covers [bounds[i-1], bounds[i]).
 	bounds []geom.Coord
 }
 
-// NewPartitioner builds a K-stripe partitioner over the universe,
-// placing boundaries at x-center quantiles of the given inputs.
+// NewPartitioner builds a partitioner of at most k stripes over the
+// universe, placing boundaries at x-center quantiles of the given
+// inputs. It is NewPartitionerWindowed with no window.
 func NewPartitioner(universe geom.Rect, k int, inputs ...[]geom.Record) *Partitioner {
+	return NewPartitionerWindowed(universe, k, nil, inputs...)
+}
+
+// NewPartitionerWindowed is NewPartitioner with the join's window
+// predicate applied while sampling: records that a windowed join will
+// filter out do not vote on boundary placement, so the stripes
+// balance the records the join actually sweeps.
+func NewPartitionerWindowed(universe geom.Rect, k int, window *geom.Rect, inputs ...[]geom.Record) *Partitioner {
 	if k < 1 {
 		k = 1
 	}
@@ -38,14 +54,7 @@ func NewPartitioner(universe geom.Rect, k int, inputs ...[]geom.Record) *Partiti
 	}
 	var sample []geom.Coord
 	for _, in := range inputs {
-		step := 1
-		if len(in) > sampleMax {
-			step = len(in) / sampleMax
-		}
-		for i := 0; i < len(in); i += step {
-			c := in[i].Rect
-			sample = append(sample, c.XLo+(c.XHi-c.XLo)/2)
-		}
+		sample = appendCenterSample(sample, in, window)
 	}
 	if len(sample) < k {
 		// Too little data to estimate quantiles: equal-width stripes.
@@ -57,13 +66,73 @@ func NewPartitioner(universe geom.Rect, k int, inputs ...[]geom.Record) *Partiti
 		for i := 1; i < k; i++ {
 			p.bounds = append(p.bounds, universe.XLo+geom.Coord(float64(i)*w))
 		}
+		p.dedup(universe.XLo)
 		return p
 	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	slices.Sort(sample)
 	for i := 1; i < k; i++ {
 		p.bounds = append(p.bounds, sample[i*len(sample)/k])
 	}
+	p.dedup(sample[0])
 	return p
+}
+
+// appendCenterSample appends up to ~sampleMax x-centers of one input
+// to sample. With no window it strides the input directly. With a
+// window it streams the qualifying records, decimating the collected
+// sample (and doubling the keep stride) whenever it reaches
+// 2*sampleMax: a selective window then still contributes a full-size,
+// evenly spread sample of the records the join will actually sweep,
+// where a blind stride applied before the window test would leave
+// only a handful of survivors and collapse the quantiles to the
+// equal-width fallback.
+func appendCenterSample(sample []geom.Coord, in []geom.Record, window *geom.Rect) []geom.Coord {
+	center := func(c geom.Rect) geom.Coord { return c.XLo + (c.XHi-c.XLo)/2 }
+	if window == nil {
+		step := 1
+		if len(in) > sampleMax {
+			step = len(in) / sampleMax
+		}
+		for i := 0; i < len(in); i += step {
+			sample = append(sample, center(in[i].Rect))
+		}
+		return sample
+	}
+	own := make([]geom.Coord, 0, min(len(in), 2*sampleMax))
+	keep, seen := 1, 0
+	for _, r := range in {
+		if !r.Rect.Intersects(*window) {
+			continue
+		}
+		if seen%keep == 0 {
+			own = append(own, center(r.Rect))
+			if len(own) == 2*sampleMax {
+				for j := 0; j < sampleMax; j++ {
+					own[j] = own[2*j]
+				}
+				own = own[:sampleMax]
+				keep *= 2
+			}
+		}
+		seen++
+	}
+	return append(sample, own...)
+}
+
+// dedup collapses boundaries so bounds is strictly increasing and
+// strictly above floor (the minimum sampled center, so stripe 0 is
+// never an empty sliver). Duplicate quantiles — heavily clustered
+// duplicate x-centers land the same value on several quantile
+// positions — would otherwise yield empty stripes whose OwnerRange is
+// a zero-width interval owning no reference point.
+func (p *Partitioner) dedup(floor geom.Coord) {
+	out := p.bounds[:0]
+	for _, b := range p.bounds {
+		if b > floor && (len(out) == 0 || b > out[len(out)-1]) {
+			out = append(out, b)
+		}
+	}
+	p.bounds = out
 }
 
 // Partitions returns the stripe count K.
@@ -128,12 +197,22 @@ func (p *Partitioner) Stripe(i int) geom.Rect {
 }
 
 // Distribute appends every record to each stripe bucket its x-interval
-// overlaps and returns the number of placements (>= len(recs)).
-// buckets must have length Partitions().
+// overlaps, tagging records that land in exactly one stripe as Local
+// (the two-layer classification the sweep's no-test emit path relies
+// on), and returns the number of placements (>= len(recs)). buckets
+// must have length Partitions(). It is the serial reference for the
+// engine's chunked parallel distribution (see distribute).
 func (p *Partitioner) Distribute(recs []geom.Record, buckets [][]geom.Record) int64 {
 	var placed int64
 	for _, r := range recs {
 		first, last := p.Range(r.Rect)
+		if first == last {
+			r.Local = true
+			buckets[first] = append(buckets[first], r)
+			placed++
+			continue
+		}
+		r.Local = false
 		for i := first; i <= last; i++ {
 			buckets[i] = append(buckets[i], r)
 		}

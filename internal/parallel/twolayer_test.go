@@ -1,0 +1,356 @@
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"unijoin/internal/datagen"
+	"unijoin/internal/geom"
+)
+
+// TestPartitionerDedupClusteredDuplicates is the regression test for
+// duplicate quantile boundaries: when most x-centers share one value,
+// several quantile positions hold that same value, which used to
+// produce degenerate empty stripes and zero-width OwnerRange
+// intervals. Deduplication must leave fewer, strictly increasing
+// boundaries and a correct join.
+func TestPartitionerDedupClusteredDuplicates(t *testing.T) {
+	var recs []geom.Record
+	// 2000 records whose x-center is exactly 500 …
+	for i := 0; i < 2000; i++ {
+		y := geom.Coord(i % 97)
+		recs = append(recs, geom.Record{Rect: geom.NewRect(500, y, 500, y+2), ID: geom.ID(i)})
+	}
+	// … plus a thin spread so some distinct quantiles survive.
+	for i := 0; i < 120; i++ {
+		x := geom.Coord(i * 8)
+		recs = append(recs, geom.Record{Rect: geom.NewRect(x, 10, x+4, 14), ID: geom.ID(3000 + i)})
+	}
+	p := NewPartitioner(universe, 16, recs)
+	k := p.Partitions()
+	if k < 1 || k > 16 {
+		t.Fatalf("partitions = %d, want 1..16", k)
+	}
+	if k == 16 {
+		t.Fatalf("duplicate quantiles must collapse below the requested 16 stripes")
+	}
+	for i := 0; i < k; i++ {
+		lo, hi := p.OwnerRange(i)
+		if !(lo < hi) {
+			t.Fatalf("stripe %d has degenerate OwnerRange [%g, %g)", i, lo, hi)
+		}
+		if i > 0 {
+			_, prevHi := p.OwnerRange(i - 1)
+			if prevHi != lo {
+				t.Fatalf("stripes %d and %d do not tile: %g vs %g", i-1, i, prevHi, lo)
+			}
+		}
+	}
+	// All-duplicate centers: every boundary collapses to one stripe.
+	dup := recs[:2000]
+	if got := NewPartitioner(universe, 8, dup).Partitions(); got != 1 {
+		t.Fatalf("all-duplicate centers: partitions = %d, want 1", got)
+	}
+	// The join over the clustered-duplicate data stays correct.
+	want := brute(recs, recs)
+	rep, got := collectPairs(t, recs, recs, Options{Universe: universe, Partitions: 16, Workers: 4})
+	if len(got) != len(want) || rep.Pairs != int64(len(want)) {
+		t.Fatalf("pairs = %d (emitted %d), want %d", rep.Pairs, len(got), len(want))
+	}
+}
+
+// TestDistributeMatchesSerialReference pins the chunked parallel
+// distribution to the serial Partitioner.Distribute reference: for
+// any worker count, concatenating each stripe's fragments in worker
+// order must reproduce the serial bucket contents exactly — same
+// records, same order, same Local tags — because worker w owns the
+// w-th contiguous chunk of the input.
+func TestDistributeMatchesSerialReference(t *testing.T) {
+	a, b := clustered(17, 4000, 2500) // above distSerialCutoff
+	part := NewPartitioner(universe, 9, a, b)
+	k := part.Partitions()
+	wantA := make([][]geom.Record, k)
+	wantB := make([][]geom.Record, k)
+	wantRepl := part.Distribute(a, wantA) + part.Distribute(b, wantB)
+	for _, nw := range []int{1, 2, 3, 8} {
+		d, err := distribute(context.Background(), part, a, b, nil, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.input != int64(len(a)+len(b)) {
+			t.Fatalf("nw=%d: input = %d", nw, d.input)
+		}
+		if d.replicated != wantRepl {
+			t.Fatalf("nw=%d: replicated = %d, want %d", nw, d.replicated, wantRepl)
+		}
+		if d.local+d.boundary != d.input {
+			t.Fatalf("nw=%d: local %d + boundary %d != input %d", nw, d.local, d.boundary, d.input)
+		}
+		for i := 0; i < k; i++ {
+			fa, fb := d.fragsFor(i)
+			gotA := concatFrags(fa, d.sizeA[i])
+			gotB := concatFrags(fb, d.sizeB[i])
+			if !reflect.DeepEqual(gotA, wantA[i]) {
+				t.Fatalf("nw=%d stripe %d: side A diverges from serial distribution", nw, i)
+			}
+			if !reflect.DeepEqual(gotB, wantB[i]) {
+				t.Fatalf("nw=%d stripe %d: side B diverges from serial distribution", nw, i)
+			}
+		}
+	}
+}
+
+// TestDistributeWindowed checks the fused window filter: only
+// window-intersecting records are distributed, counted, and
+// classified.
+func TestDistributeWindowed(t *testing.T) {
+	a, b := clustered(23, 5000, 3000)
+	w := geom.NewRect(200, 200, 600, 600)
+	part := NewPartitionerWindowed(universe, 6, &w, a, b)
+	d, err := distribute(context.Background(), part, a, b, &w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, r := range a {
+		if r.Rect.Intersects(w) {
+			want++
+		}
+	}
+	for _, r := range b {
+		if r.Rect.Intersects(w) {
+			want++
+		}
+	}
+	if d.input != want {
+		t.Fatalf("windowed input = %d, want %d", d.input, want)
+	}
+	if d.local+d.boundary != d.input {
+		t.Fatalf("local %d + boundary %d != input %d", d.local, d.boundary, d.input)
+	}
+}
+
+// TestWindowedSamplingStaysDense guards boundary estimation under a
+// selective window: only records the join will actually sweep may
+// vote on boundaries, and a window keeping ~0.5% of a large input
+// must still contribute a full sample — striding before the window
+// test would leave a handful of survivors, collapse to the
+// equal-width fallback, and put every boundary outside the populated
+// region.
+func TestWindowedSamplingStaysDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var recs []geom.Record
+	// 100k records spread over the universe, none near the window …
+	for i := 0; i < 100_000; i++ {
+		x := 200 + geom.Coord(rng.Intn(800))
+		y := geom.Coord(rng.Intn(1000))
+		recs = append(recs, geom.Record{Rect: geom.NewRect(x, y, x+1, y+1), ID: geom.ID(i)})
+	}
+	// … plus 500 inside it, clustered in x ∈ [100, 110].
+	for i := 0; i < 500; i++ {
+		x := 100 + geom.Coord(rng.Intn(10))
+		y := 100 + geom.Coord(rng.Intn(10))
+		recs = append(recs, geom.Record{Rect: geom.NewRect(x, y, x+1, y+1), ID: geom.ID(200_000 + i)})
+	}
+	w := geom.NewRect(95, 95, 115, 115)
+	p := NewPartitionerWindowed(universe, 8, &w, recs)
+	if got := p.Partitions(); got != 8 {
+		t.Fatalf("windowed partitions = %d, want 8 (sample starved?)", got)
+	}
+	for i := 1; i < 8; i++ {
+		lo, _ := p.OwnerRange(i)
+		if lo < 100 || lo > 112 {
+			t.Fatalf("boundary %d at %g lies outside the windowed population [100, 112]", i, lo)
+		}
+	}
+	if n := len(appendCenterSample(nil, recs, &w)); n < 400 {
+		t.Fatalf("windowed sample kept %d of ~500 qualifying centers", n)
+	}
+}
+
+// TestTwoLayerAccounting checks the classification counters and the
+// no-test fast path accounting across engine configurations.
+func TestTwoLayerAccounting(t *testing.T) {
+	a, b := clustered(19, 3000, 2000)
+	ctx := context.Background()
+
+	rep, err := Join(ctx, a, b, Options{Universe: universe, Workers: 4, Partitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LocalRecords+rep.BoundaryRecords != rep.InputRecords {
+		t.Fatalf("local %d + boundary %d != input %d",
+			rep.LocalRecords, rep.BoundaryRecords, rep.InputRecords)
+	}
+	if rep.LocalRecords == 0 || rep.BoundaryRecords == 0 {
+		t.Fatalf("both classes must be populated on clustered data: local %d, boundary %d",
+			rep.LocalRecords, rep.BoundaryRecords)
+	}
+	if rep.NoTestPairs <= 0 || rep.NoTestPairs > rep.Pairs {
+		t.Fatalf("NoTestPairs = %d of %d pairs", rep.NoTestPairs, rep.Pairs)
+	}
+	// Replication only comes from boundary records.
+	if rep.ReplicatedRecords-rep.InputRecords > rep.BoundaryRecords*int64(rep.Partitions) {
+		t.Fatalf("replication exceeds what %d boundary records can produce", rep.BoundaryRecords)
+	}
+	if f := rep.LocalFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("LocalFraction = %f", f)
+	}
+
+	// One stripe (Partitions is floored at Workers, so one worker):
+	// everything is local, every pair skips the test.
+	rep1, err := Join(ctx, a, b, Options{Universe: universe, Workers: 1, Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.BoundaryRecords != 0 || rep1.LocalRecords != rep1.InputRecords {
+		t.Fatalf("k=1: local %d boundary %d of %d", rep1.LocalRecords, rep1.BoundaryRecords, rep1.InputRecords)
+	}
+	if rep1.NoTestPairs != rep1.Pairs || rep1.NoTestFraction() != 1 {
+		t.Fatalf("k=1: NoTestPairs = %d of %d", rep1.NoTestPairs, rep1.Pairs)
+	}
+
+	// Serial mirrors the one-stripe accounting.
+	srep, err := Serial(ctx, a, b, Options{Universe: universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.LocalRecords != srep.InputRecords || srep.BoundaryRecords != 0 {
+		t.Fatalf("serial: local %d boundary %d of %d", srep.LocalRecords, srep.BoundaryRecords, srep.InputRecords)
+	}
+	if srep.NoTestPairs != srep.Pairs {
+		t.Fatalf("serial: NoTestPairs = %d of %d", srep.NoTestPairs, srep.Pairs)
+	}
+	if srep.Replication != 1 {
+		t.Fatalf("serial replication = %f, want 1 for non-empty inputs", srep.Replication)
+	}
+}
+
+// TestEmptyInputReports pins the documented Report contract for empty
+// inputs — Replication 0 — on both entry points (Serial used to
+// report 1).
+func TestEmptyInputReports(t *testing.T) {
+	ctx := context.Background()
+	for name, join := range map[string]func(context.Context, []geom.Record, []geom.Record, Options) (Report, error){
+		"parallel": Join, "serial": Serial,
+	} {
+		rep, err := join(ctx, nil, nil, Options{Universe: universe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Replication != 0 {
+			t.Fatalf("%s: empty-input Replication = %f, want 0", name, rep.Replication)
+		}
+		if rep.InputRecords != 0 || rep.Pairs != 0 || rep.NoTestPairs != 0 {
+			t.Fatalf("%s: empty-input report %+v", name, rep)
+		}
+	}
+}
+
+// adversarialRecords generates boundary-hostile inputs: coordinates
+// drawn from a small duplicated grid (so sampled quantile boundaries
+// coincide exactly with record edges and centers), zero-width
+// x-intervals sitting on those boundaries, duplicate rectangles, and
+// wide boundary-crossing spans.
+func adversarialRecords(rng *rand.Rand, n int, idBase geom.ID) []geom.Record {
+	grid := []geom.Coord{0, 125, 250, 375, 500, 625, 750, 875, 1000}
+	gx := func() geom.Coord { return grid[rng.Intn(len(grid))] }
+	recs := make([]geom.Record, 0, n)
+	for i := 0; i < n; i++ {
+		var r geom.Rect
+		switch rng.Intn(4) {
+		case 0: // zero-width vertical segment exactly on a grid x
+			x, y := gx(), geom.Coord(rng.Intn(1000))
+			r = geom.NewRect(x, y, x, y+geom.Coord(rng.Intn(40)))
+		case 1: // duplicate-coordinate point
+			r = geom.NewRect(gx(), gx(), gx(), gx())
+		case 2: // wide span with grid-aligned, boundary-sitting edges
+			r = geom.NewRect(gx(), geom.Coord(rng.Intn(1000)), gx(), geom.Coord(rng.Intn(1000)))
+		default: // small jittered box straddling a grid line
+			x, y := gx(), geom.Coord(rng.Intn(1000))
+			w, h := geom.Coord(rng.Intn(30)), geom.Coord(rng.Intn(30))
+			r = geom.NewRect(x-w/2, y, x+w/2, y+h)
+		}
+		recs = append(recs, geom.Record{Rect: r, ID: idBase + geom.ID(i)})
+	}
+	return recs
+}
+
+// TestBoundaryAdversarialJoinEqualsSerial is the boundary-edge
+// property test: across randomized adversarial inputs — records
+// sitting exactly on stripe boundaries, zero-width x-intervals,
+// duplicated coordinates — the parallel Join must emit exactly the
+// same pair set as Serial for every partition/worker shape, with no
+// duplicates and no misses, and the runs must collectively exercise
+// both the local fast path and the tested boundary path.
+func TestBoundaryAdversarialJoinEqualsSerial(t *testing.T) {
+	ctx := context.Background()
+	var sawNoTest, sawTested bool
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		a := adversarialRecords(rng, 400, 0)
+		b := adversarialRecords(rng, 300, 10_000)
+
+		want := map[geom.Pair]bool{}
+		srep, err := Serial(ctx, a, b, Options{
+			Universe: universe,
+			Emit:     func(p geom.Pair) { want[p] = true },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srep.Pairs != int64(len(want)) {
+			t.Fatalf("trial %d: serial emitted %d distinct pairs of %d reported", trial, len(want), srep.Pairs)
+		}
+
+		for _, k := range []int{1, 3, 8, 16} {
+			for _, workers := range []int{1, 4} {
+				rep, got := collectPairs(t, a, b, Options{
+					Universe: universe, Partitions: k, Workers: workers,
+				})
+				if len(got) != len(want) || rep.Pairs != int64(len(want)) {
+					t.Fatalf("trial %d k=%d w=%d: %d pairs (emitted %d), want %d",
+						trial, k, workers, rep.Pairs, len(got), len(want))
+				}
+				for p := range want {
+					if !got[p] {
+						t.Fatalf("trial %d k=%d w=%d: missing pair %v", trial, k, workers, p)
+					}
+				}
+				if rep.NoTestPairs > 0 {
+					sawNoTest = true
+				}
+				if rep.NoTestPairs < rep.Pairs {
+					sawTested = true
+				}
+			}
+		}
+	}
+	if !sawNoTest || !sawTested {
+		t.Fatalf("adversarial runs must exercise both emit paths: no-test %v, tested %v", sawNoTest, sawTested)
+	}
+}
+
+// BenchmarkDistribute measures the distribution prefix alone — the
+// phase Report.PartitionWall covers — at several worker counts on the
+// 100k uniform workload, the serial-prefix baseline the tentpole
+// removes (run with -cpu to pin GOMAXPROCS on multicore hosts).
+func BenchmarkDistribute(b *testing.B) {
+	u := geom.NewRect(0, 0, 100_000, 100_000)
+	ra := datagen.Uniform(1, 100_000, u, 40)
+	rb := datagen.Uniform(2, 100_000, u, 40)
+	for _, nw := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4"}[nw], func(b *testing.B) {
+			part := NewPartitioner(u, 16, ra, rb)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := distribute(context.Background(), part, ra, rb, nil, nw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

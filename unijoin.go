@@ -64,12 +64,16 @@
 //
 // Alongside the simulated-I/O algorithms, AlgParallel runs the filter
 // step on a multicore, in-memory engine (internal/parallel): the
-// universe is split into sample-balanced stripes, records are
-// replicated into every stripe they overlap, and a worker pool sweeps
-// the stripes concurrently with reference-point duplicate avoidance so
-// each pair is reported exactly once. Its results are measured in
-// wall-clock time rather than simulated page accesses — the
-// benchmarking path for real hardware:
+// universe is split into sample-balanced stripes and both phases run
+// on the worker pool. Distribution is chunked and two-layer — each
+// worker filters and classifies its private chunk, tagging records
+// contained in one stripe as local and replicating only
+// boundary-crossing records — and the concurrent sweep emits
+// local-member pairs with no per-pair test while boundary×boundary
+// pairs pay the reference-point ownership test, so each pair is
+// reported exactly once. Its results are measured in wall-clock time
+// rather than simulated page accesses — the benchmarking path for
+// real hardware:
 //
 //	res, _ := ws.Query(roads, hydro).
 //		Algorithm(unijoin.AlgParallel).
@@ -197,8 +201,10 @@ const (
 	// Rundensteiner, the near-I/O-optimal index join the paper cites
 	// alongside ST (both inputs must be indexed).
 	AlgBFRJ
-	// AlgParallel is the multicore in-memory engine: partition-parallel
-	// plane sweep with reference-point duplicate avoidance, measured in
+	// AlgParallel is the multicore in-memory engine: chunked parallel
+	// two-layer distribution followed by a partition-parallel plane
+	// sweep, with stripe-local pairs emitted untested and boundary
+	// pairs deduplicated by the reference-point test, measured in
 	// wall-clock time (Query.Parallelism sets the worker count).
 	AlgParallel
 )
