@@ -1,0 +1,100 @@
+package unijoin
+
+import (
+	"fmt"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/parallel"
+	"unijoin/internal/stream"
+)
+
+// This file exports the stripe boundary computation the shard planner
+// (internal/shard) and the parallel engine share: quantiles of sampled
+// record x-centers, the same boundaries internal/parallel places. The
+// per-relation sample behind it is cached on the Relation — computed
+// once, reused by every subsequent parallel query and boundary request
+// on that relation — so a stable catalog pays the serial ≤4096-sample
+// sort once instead of per query. A reloaded catalog name is a new
+// Relation and starts with a cold cache.
+
+// sortedSampleFrom returns the relation's cached sorted x-center
+// sample, computing it from recs (the relation's records, already in
+// memory) on first use.
+func (r *Relation) sortedSampleFrom(recs []Record) []Coord {
+	r.sampleMu.Lock()
+	defer r.sampleMu.Unlock()
+	if !r.sampled {
+		r.sample = parallel.SortedCenterSample(recs)
+		r.sampled = true
+	}
+	return r.sample
+}
+
+// centerSample returns the cached sample, reading the record stream
+// (charged to the workspace counters like any scan) when cold.
+func (r *Relation) centerSample() ([]Coord, error) {
+	r.sampleMu.Lock()
+	cached := r.sampled
+	sample := r.sample
+	r.sampleMu.Unlock()
+	if cached {
+		return sample, nil
+	}
+	recs, err := stream.ReadAll(r.file, stream.Records)
+	if err != nil {
+		return nil, err
+	}
+	return r.sortedSampleFrom(recs), nil
+}
+
+// StripeBoundaries returns the k-1 internal boundaries that cut this
+// relation into k stripe shards balanced by record x-centers —
+// strictly increasing, possibly fewer than k-1 when the sampled
+// centers are too clustered to support k distinct stripes. The
+// underlying x-center sample is cached on the relation, so repeated
+// calls (and parallel queries on the same relation) skip the sample
+// scan and sort.
+func (r *Relation) StripeBoundaries(k int) ([]Coord, error) {
+	if r == nil || r.file == nil {
+		return nil, fmt.Errorf("%w: stripe boundaries", ErrNilRelation)
+	}
+	sample, err := r.centerSample()
+	if err != nil {
+		return nil, err
+	}
+	u := r.ws.universeFor(r.mbr)
+	return parallel.NewPartitionerFromSamples(u, k, sample).Boundaries(), nil
+}
+
+// StripeBoundaries returns the k-1 internal boundaries that cut the
+// named relations into k stripe shards, balancing the union of their
+// sampled x-centers — the planning step of sharded serving: every
+// shard then loads the slice of each relation overlapping its stripe
+// and answers joins between any of them. Each relation's sample is
+// cached (invalidated when the name is dropped and reloaded), so
+// planning over a stable catalog is a linear merge of pre-sorted
+// samples with no serial sort.
+func (c *Catalog) StripeBoundaries(k int, names ...string) ([]Coord, error) {
+	if len(names) == 0 {
+		names = c.Names()
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("unijoin: stripe boundaries need at least one relation")
+	}
+	samples := make([][]Coord, 0, len(names))
+	mbr := geom.EmptyRect()
+	for _, name := range names {
+		rel, ok := c.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("unijoin: relation %q is not in the catalog", name)
+		}
+		sample, err := rel.centerSample()
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, sample)
+		mbr = mbr.Union(rel.mbr)
+	}
+	u := c.ws.universeFor(mbr)
+	return parallel.NewPartitionerFromSamples(u, k, samples...).Boundaries(), nil
+}

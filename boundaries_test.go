@@ -1,0 +1,95 @@
+package unijoin
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"unijoin/internal/parallel"
+)
+
+// TestStripeBoundariesMatchEngine pins the planner/engine agreement:
+// the boundaries a catalog exports for k shards are exactly the
+// boundaries the parallel engine would sweep for k partitions of the
+// same inputs.
+func TestStripeBoundariesMatchEngine(t *testing.T) {
+	u := NewRect(0, 0, 1000, 1000)
+	c := NewCatalog()
+	c.Workspace().SetUniverse(u)
+	ra := demoRecords(1, 4000, u)
+	rb := demoRecords(2, 3000, u)
+	if _, err := c.Load("a", ra, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("b", rb, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 7} {
+		got, err := c.StripeBoundaries(k, "a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := parallel.NewPartitioner(u, k, ra, rb).Boundaries()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: catalog boundaries %v != engine boundaries %v", k, got, want)
+		}
+	}
+	if _, err := c.StripeBoundaries(4, "nope"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+// TestStripeBoundariesCached verifies the satellite contract: the
+// x-center sample is computed once per relation — the second request
+// touches no disk pages — and a reloaded name starts cold.
+func TestStripeBoundariesCached(t *testing.T) {
+	u := NewRect(0, 0, 1000, 1000)
+	c := NewCatalog()
+	c.Workspace().SetUniverse(u)
+	rel, err := c.Load("a", demoRecords(3, 4000, u), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := rel.StripeBoundaries(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Workspace().Store().Counters()
+	second, err := rel.StripeBoundaries(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := c.Workspace().Store().Counters().Sub(before); delta.Total() != 0 {
+		t.Fatalf("second StripeBoundaries call performed %d page accesses, want 0 (cached)", delta.Total())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached boundaries differ: %v vs %v", first, second)
+	}
+
+	// A parallel query on the relation must reuse (or fill) the same
+	// cache and agree with the planner's stripes.
+	other, err := c.Load("b", demoRecords(4, 3000, u), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Workspace().Query(rel, other).Algorithm(AlgParallel).CountOnly().Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reloading the name yields a fresh Relation whose sample is
+	// recomputed from the new records.
+	if !c.Drop("a") {
+		t.Fatal("drop failed")
+	}
+	rel2, err := c.Load("a", demoRecords(99, 4000, u), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := rel2.StripeBoundaries(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(first, reloaded) {
+		t.Fatal("reloaded relation returned the old relation's boundaries")
+	}
+}

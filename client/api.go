@@ -16,6 +16,12 @@
 // then exactly one terminal line carrying either the summary or an
 // error. Streaming starts as soon as the join produces output, so a
 // client can consume results long before the query finishes.
+//
+// sjrouter, the scatter-gather front for a fleet of sjserved stripe
+// shards, speaks the same API — the shard-aware fields (Stripe,
+// Shards) are the only way to tell the two apart. Non-2xx responses
+// and terminal error lines surface as *APIError values matching this
+// package's sentinel errors under errors.Is.
 package client
 
 import "fmt"
@@ -107,6 +113,14 @@ type WindowLine struct {
 	Error   *APIError      `json:"error,omitempty"`
 }
 
+// Stripe is the half-open x-interval [Lo, Hi) a shard serves. A nil
+// bound means unbounded on that side (the outer shards of a plan), so
+// the ±Inf sentinels survive JSON, which cannot carry infinities.
+type Stripe struct {
+	Lo *float64 `json:"lo,omitempty"`
+	Hi *float64 `json:"hi,omitempty"`
+}
+
 // RelationInfo describes one cataloged relation (GET /v1/relations).
 type RelationInfo struct {
 	Name       string `json:"name"`
@@ -115,6 +129,14 @@ type RelationInfo struct {
 	DataBytes  int64  `json:"data_bytes"`
 	IndexBytes int64  `json:"index_bytes,omitempty"`
 	MBR        Rect   `json:"mbr"`
+	// Stripe is set when the serving process holds only a stripe
+	// shard of the relation (sjserved -stripe): Records then counts
+	// the loaded slice, not the full relation.
+	Stripe *Stripe `json:"stripe,omitempty"`
+	// Shards is set by a router: how many shards reported this
+	// relation (Records is their sum, which counts boundary-crossing
+	// records once per shard that loaded them).
+	Shards int `json:"shards,omitempty"`
 }
 
 // Stats is the GET /v1/stats response: uptime, the catalog summary,
@@ -132,16 +154,24 @@ type Stats struct {
 	Canceled        int64 `json:"canceled"`
 	PairsStreamed   int64 `json:"pairs_streamed"`
 	RecordsStreamed int64 `json:"records_streamed"`
+	// Stripe is set when this process serves one stripe shard of its
+	// catalog (sjserved -stripe) — the shard metadata a router checks
+	// to verify a fleet tiles the x-axis.
+	Stripe *Stripe `json:"stripe,omitempty"`
+	// Shards is set by a router: the number of downstream shard
+	// processes whose counters are aggregated into this response.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Error codes carried by APIError.Code, one per error class the
 // server distinguishes.
 const (
-	CodeBadRequest = "bad_request" // malformed body, unknown algorithm, bad window
-	CodeNotFound   = "not_found"   // relation not in the catalog (or unknown route)
-	CodeNeedsIndex = "needs_index" // algorithm requires indexes the inputs lack
-	CodeCanceled   = "canceled"    // server-side timeout or client disconnect
-	CodeInternal   = "internal"    // anything else
+	CodeBadRequest  = "bad_request" // malformed body, unknown algorithm, bad window
+	CodeNotFound    = "not_found"   // relation not in the catalog (or unknown route)
+	CodeNeedsIndex  = "needs_index" // algorithm requires indexes the inputs lack
+	CodeCanceled    = "canceled"    // server-side timeout or client disconnect
+	CodeUnavailable = "unavailable" // a downstream shard is unreachable (router only)
+	CodeInternal    = "internal"    // anything else
 )
 
 // APIError is the service's error shape, both as a non-2xx JSON body

@@ -60,8 +60,25 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 // Join runs a spatial join on the server, streaming each result pair
 // to onPair as batches arrive, and returns the summary the server
 // computed. onPair may be nil (or req.CountOnly set) to skip pair
-// delivery. Errors from the service are returned as *APIError.
+// delivery. Errors from the service are returned as *APIError, which
+// matches the package's sentinel errors under errors.Is.
 func (c *Client) Join(ctx context.Context, req JoinRequest, onPair func(left, right uint32)) (*JoinSummary, error) {
+	var onBatch func([][2]uint32)
+	if onPair != nil {
+		onBatch = func(batch [][2]uint32) {
+			for _, p := range batch {
+				onPair(p[0], p[1])
+			}
+		}
+	}
+	return c.JoinBatches(ctx, req, onBatch)
+}
+
+// JoinBatches is Join with pair delivery at the wire's batch
+// granularity: onBatch (which may be nil) receives each NDJSON batch
+// line's pairs as one slice, valid only until it returns — the
+// amortized path a router merging several shard streams uses.
+func (c *Client) JoinBatches(ctx context.Context, req JoinRequest, onBatch func(pairs [][2]uint32)) (*JoinSummary, error) {
 	body, err := c.postStream(ctx, "/v1/join", req)
 	if err != nil {
 		return nil, err
@@ -79,10 +96,8 @@ func (c *Client) Join(ctx context.Context, req JoinRequest, onPair func(left, ri
 		case line.Summary != nil:
 			summary = line.Summary
 		default:
-			if onPair != nil {
-				for _, p := range line.Pairs {
-					onPair(p[0], p[1])
-				}
+			if onBatch != nil && len(line.Pairs) > 0 {
+				onBatch(line.Pairs)
 			}
 		}
 		return nil
@@ -106,6 +121,20 @@ func (c *Client) JoinCount(ctx context.Context, req JoinRequest) (*JoinSummary, 
 // Window runs a window query on the server, streaming each matching
 // record to onRecord (which may be nil), and returns the summary.
 func (c *Client) Window(ctx context.Context, req WindowRequest, onRecord func(RecordOut)) (*WindowSummary, error) {
+	var onBatch func([]RecordOut)
+	if onRecord != nil {
+		onBatch = func(batch []RecordOut) {
+			for _, r := range batch {
+				onRecord(r)
+			}
+		}
+	}
+	return c.WindowBatches(ctx, req, onBatch)
+}
+
+// WindowBatches is Window with record delivery at the wire's batch
+// granularity, mirroring JoinBatches.
+func (c *Client) WindowBatches(ctx context.Context, req WindowRequest, onBatch func([]RecordOut)) (*WindowSummary, error) {
 	body, err := c.postStream(ctx, "/v1/window", req)
 	if err != nil {
 		return nil, err
@@ -123,10 +152,8 @@ func (c *Client) Window(ctx context.Context, req WindowRequest, onRecord func(Re
 		case line.Summary != nil:
 			summary = line.Summary
 		default:
-			if onRecord != nil {
-				for _, r := range line.Records {
-					onRecord(r)
-				}
+			if onBatch != nil && len(line.Records) > 0 {
+				onBatch(line.Records)
 			}
 		}
 		return nil
@@ -196,9 +223,12 @@ func scanLines(r io.Reader, fn func([]byte) error) error {
 	return sc.Err()
 }
 
-// decodeError turns a non-2xx response into an *APIError, falling
-// back to a generic one when the body is not the expected
-// {"error": {...}} shape.
+// decodeError turns a non-2xx response into an *APIError. When the
+// body is not the expected {"error": {...}} shape (a proxy's bare
+// 404, a load balancer's HTML error page), the error code is derived
+// from the HTTP status, so the result still matches the right
+// sentinel under errors.Is and the raw body is preserved in the
+// message.
 func decodeError(resp *http.Response) error {
 	var wrapper struct {
 		Error *APIError `json:"error"`
@@ -207,7 +237,7 @@ func decodeError(resp *http.Response) error {
 	if err := json.Unmarshal(data, &wrapper); err != nil || wrapper.Error == nil || wrapper.Error.Code == "" {
 		return &APIError{
 			Status:  resp.StatusCode,
-			Code:    CodeInternal,
+			Code:    codeForStatus(resp.StatusCode),
 			Message: fmt.Sprintf("unexpected response: %s", bytes.TrimSpace(data)),
 		}
 	}

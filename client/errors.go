@@ -1,0 +1,84 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+)
+
+// Sentinel errors, one per API error class. Every *APIError the
+// client returns — whether decoded from a non-2xx response body or
+// from the terminal error line of a stream — matches exactly one of
+// these under errors.Is, so callers branch on error classes without
+// string matching:
+//
+//	_, err := cl.Join(ctx, req, nil)
+//	switch {
+//	case errors.Is(err, client.ErrNeedsIndex):   // 422: build the index or pick PQ
+//	case errors.Is(err, client.ErrNotFound):     // 404: relation not in the catalog
+//	case errors.Is(err, client.ErrCanceled):     // 504: timeout or disconnect
+//	}
+//
+// The concrete *APIError (via errors.As) still carries the status,
+// code, and server message.
+var (
+	// ErrBadRequest is the malformed-request class (HTTP 400).
+	ErrBadRequest = errors.New("sjserved: bad request")
+	// ErrNotFound reports a relation (or route) the server does not
+	// have (HTTP 404).
+	ErrNotFound = errors.New("sjserved: not found")
+	// ErrNeedsIndex reports an algorithm that requires R-tree indexes
+	// the inputs lack (HTTP 422).
+	ErrNeedsIndex = errors.New("sjserved: needs index")
+	// ErrCanceled reports a server-side timeout or client disconnect
+	// (HTTP 504).
+	ErrCanceled = errors.New("sjserved: canceled")
+	// ErrUnavailable reports an unreachable or failing downstream
+	// shard behind a router (HTTP 502).
+	ErrUnavailable = errors.New("sjserved: shard unavailable")
+	// ErrInternal is every other server-side failure (HTTP 5xx).
+	ErrInternal = errors.New("sjserved: internal error")
+)
+
+// sentinelFor maps an error code to its sentinel.
+func sentinelFor(code string) error {
+	switch code {
+	case CodeBadRequest:
+		return ErrBadRequest
+	case CodeNotFound:
+		return ErrNotFound
+	case CodeNeedsIndex:
+		return ErrNeedsIndex
+	case CodeCanceled:
+		return ErrCanceled
+	case CodeUnavailable:
+		return ErrUnavailable
+	default:
+		return ErrInternal
+	}
+}
+
+// Is makes errors.Is(err, client.ErrNeedsIndex) and friends match the
+// APIError's class.
+func (e *APIError) Is(target error) bool { return sentinelFor(e.Code) == target }
+
+// codeForStatus maps an HTTP status to the error code the server
+// would have used — the fallback classification when a non-2xx body
+// is not the expected {"error": {...}} shape (a proxy's bare 404, a
+// load balancer's HTML 502), so callers can still branch on typed
+// errors instead of matching body text.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusUnprocessableEntity:
+		return CodeNeedsIndex
+	case http.StatusGatewayTimeout:
+		return CodeCanceled
+	case http.StatusBadGateway, http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestTypedErrors pins the non-2xx contract: whether the body is the
+// service's {"error": {...}} shape or some proxy's bare text, the
+// caller gets an *APIError that matches the right sentinel under
+// errors.Is — no string matching needed to tell 422 needs-index from
+// 404 unknown-relation.
+func TestTypedErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		status   int
+		body     string
+		sentinel error
+		code     string
+	}{
+		{"wrapped 422", 422, `{"error":{"status":422,"code":"needs_index","message":"ST requires indexes"}}`, ErrNeedsIndex, CodeNeedsIndex},
+		{"wrapped 404", 404, `{"error":{"status":404,"code":"not_found","message":"no such relation"}}`, ErrNotFound, CodeNotFound},
+		{"bare 404", 404, "not found\n", ErrNotFound, CodeNotFound},
+		{"proxy html 502", 502, "<html>bad gateway</html>", ErrUnavailable, CodeUnavailable},
+		{"bare 504", 504, "upstream timeout", ErrCanceled, CodeCanceled},
+		{"bare 500", 500, "boom", ErrInternal, CodeInternal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(tc.status)
+				w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+			cl := New(ts.URL, nil)
+			_, err := cl.JoinCount(context.Background(), JoinRequest{Left: "a", Right: "b"})
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.sentinel)
+			}
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("not an *APIError: %v", err)
+			}
+			if apiErr.Status != tc.status || apiErr.Code != tc.code {
+				t.Fatalf("got status %d code %q, want %d %q", apiErr.Status, apiErr.Code, tc.status, tc.code)
+			}
+			// Exactly one sentinel matches.
+			matches := 0
+			for _, s := range []error{ErrBadRequest, ErrNotFound, ErrNeedsIndex, ErrCanceled, ErrUnavailable, ErrInternal} {
+				if errors.Is(err, s) {
+					matches++
+				}
+			}
+			if matches != 1 {
+				t.Fatalf("error matches %d sentinels, want exactly 1", matches)
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+// Command sjrouter serves spatial-join queries over a fleet of
+// sjserved stripe shards: it speaks exactly the sjserved HTTP API, so
+// clients (and load balancers) cannot tell a sharded deployment from
+// a single process, while every join and window query fans out to all
+// shards and the merged response is exactly the single-process answer
+// — each shard filters its output by its -stripe ownership interval,
+// so counts sum and streams concatenate with no duplicates.
+//
+// Usage:
+//
+//	sjrouter [-addr :8480] [-timeout 30s] [-wait 30s]
+//	         -shard http://host1:8470 -shard http://host2:8470 ...
+//
+// A typical 3-shard fleet over one deterministic synthetic dataset:
+//
+//	sjserved -addr :8471 -uniform a=100000 -uniform b=100000 -stripe :333   &
+//	sjserved -addr :8472 -uniform a=100000 -uniform b=100000 -stripe 333:666 &
+//	sjserved -addr :8473 -uniform a=100000 -uniform b=100000 -stripe 666:   &
+//	sjrouter -addr :8480 -shard http://localhost:8471 \
+//	         -shard http://localhost:8472 -shard http://localhost:8473
+//
+// At startup the router health-checks the fleet (retrying until -wait
+// expires) and verifies the shards' stripes tile the x-axis — a
+// misconfigured fleet that would drop or double-count pairs is
+// refused before it serves a single query. SIGINT/SIGTERM trigger a
+// graceful shutdown: in-flight scatter-gather streams get 10 seconds
+// to drain, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"unijoin/internal/shard"
+)
+
+// shutdownGrace is how long in-flight requests get after SIGTERM.
+const shutdownGrace = 10 * time.Second
+
+// repeatable collects the values of a repeatable flag.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8480", "listen address")
+		timeout = flag.Duration("timeout", 30*time.Second, "router-side ceiling per join/window request (0 = none)")
+		wait    = flag.Duration("wait", 30*time.Second, "how long to retry the startup fleet check before giving up")
+		shards  repeatable
+	)
+	flag.Var(&shards, "shard", "base URL of one sjserved shard (repeatable)")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if len(shards) == 0 {
+		fail(errors.New("no shards: give at least one -shard URL"))
+	}
+	router, err := shard.NewRouter(shards, nil)
+	if err != nil {
+		fail(err)
+	}
+	if err := awaitFleet(log, router, *wait); err != nil {
+		fail(err)
+	}
+
+	svc := shard.NewService(shard.ServiceConfig{Router: router, Timeout: *timeout, Logger: log})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("routing", "addr", *addr, "shards", router.Shards(), "timeout", timeout.String())
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	log.Info("shutting down", "grace", shutdownGrace.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// In-flight streams outliving the grace period are load
+		// shedding, not a crash: cut them and exit 0 as documented.
+		log.Warn("shutdown grace expired, closing remaining connections", "err", err)
+		httpSrv.Close()
+	}
+	log.Info("bye")
+}
+
+// awaitFleet retries Router.Verify — every shard healthy, stripes
+// tiling the x-axis — until it passes or the wait budget expires, so
+// a fleet started in parallel with the router converges instead of
+// racing it.
+func awaitFleet(log *slog.Logger, router *shard.Router, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for attempt := 1; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		stats, err := router.Verify(ctx)
+		cancel()
+		if err == nil {
+			for i, s := range stats {
+				stripe := "(all)"
+				if s.Stripe != nil {
+					stripe = shard.FromStripe(s.Stripe).String()
+				}
+				log.Info("shard ready", "shard", i, "url", router.Endpoints()[i],
+					"stripe", stripe, "relations", s.Relations)
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet not ready after %s: %w", wait, err)
+		}
+		log.Info("waiting for fleet", "attempt", attempt, "err", err.Error())
+		time.Sleep(min(500*time.Millisecond, wait))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sjrouter:", err)
+	os.Exit(1)
+}

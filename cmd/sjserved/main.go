@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sjserved [-addr :8470] [-timeout 30s]
+//	sjserved [-addr :8470] [-timeout 30s] [-stripe lo:hi]
 //	         [-load name=path.bin]... [-uniform name=N]... [-tiger SET[:scale]]...
 //	         [-index all|none|name,name...] [-region x1,y1,x2,y2] [-seed n]
 //
@@ -20,6 +20,17 @@
 // Endpoints: POST /v1/join, POST /v1/window, GET /v1/relations,
 // GET /v1/stats, GET /v1/healthz. Join and window responses stream
 // NDJSON; see the client package for the wire types.
+//
+// With -stripe lo:hi the process serves one shard of a fleet: each
+// relation keeps only the records whose x-interval overlaps [lo, hi)
+// (either side may be empty for the unbounded outer shards), and
+// every join pair and window record is filtered by the shard
+// ownership rules of internal/shard, so a cmd/sjrouter summing the
+// fleet's responses returns exactly the single-process answer.
+// Synthetic sources (-uniform, -tiger) generate the full dataset
+// deterministically from -seed before slicing, so a fleet started
+// with identical generation flags and distinct stripes shards one
+// consistent dataset.
 //
 // Every request runs under a context canceled by client disconnect
 // and bounded by -timeout (a request's own timeout_ms may shorten
@@ -44,6 +55,7 @@ import (
 	"unijoin"
 	"unijoin/internal/datagen"
 	"unijoin/internal/server"
+	"unijoin/internal/shard"
 	"unijoin/internal/tiger"
 )
 
@@ -58,15 +70,16 @@ func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8470", "listen address")
-		timeout = flag.Duration("timeout", 30*time.Second, "server-side ceiling per join/window request (0 = none)")
-		index   = flag.String("index", "all", "which relations to index: all, none, or name,name,...")
-		region  = flag.String("region", "0,0,1000,1000", "universe for -uniform relations: x1,y1,x2,y2")
-		maxExt  = flag.Float64("maxext", 20, "max rectangle extent for -uniform relations")
-		seed    = flag.Int64("seed", 1997, "generation seed for synthetic relations")
-		loads   repeatable
-		unis    repeatable
-		tigers  repeatable
+		addr      = flag.String("addr", ":8470", "listen address")
+		timeout   = flag.Duration("timeout", 30*time.Second, "server-side ceiling per join/window request (0 = none)")
+		index     = flag.String("index", "all", "which relations to index: all, none, or name,name,...")
+		region    = flag.String("region", "0,0,1000,1000", "universe for -uniform relations: x1,y1,x2,y2")
+		maxExt    = flag.Float64("maxext", 20, "max rectangle extent for -uniform relations")
+		seed      = flag.Int64("seed", 1997, "generation seed for synthetic relations")
+		stripeStr = flag.String("stripe", "", "serve one stripe shard lo:hi of the data (either side may be empty; see internal/shard)")
+		loads     repeatable
+		unis      repeatable
+		tigers    repeatable
 	)
 	flag.Var(&loads, "load", "load name=path.bin (repeatable)")
 	flag.Var(&unis, "uniform", "generate name=N uniform rectangles (repeatable)")
@@ -77,13 +90,21 @@ func main() {
 	if len(loads)+len(unis)+len(tigers) == 0 {
 		fail(errors.New("no relations: give at least one -load, -uniform, or -tiger"))
 	}
+	var stripe *shard.Interval
+	if *stripeStr != "" {
+		iv, err := shard.ParseInterval(*stripeStr)
+		if err != nil {
+			fail(err)
+		}
+		stripe = &iv
+	}
 
-	cat, err := buildCatalog(log, loads, unis, tigers, *region, *maxExt, *seed, *index)
+	cat, err := buildCatalog(log, loads, unis, tigers, *region, *maxExt, *seed, *index, stripe)
 	if err != nil {
 		fail(err)
 	}
 
-	srv := server.New(server.Config{Catalog: cat, Timeout: *timeout, Logger: log})
+	srv := server.New(server.Config{Catalog: cat, Timeout: *timeout, Logger: log, Stripe: stripe})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -113,9 +134,12 @@ func main() {
 }
 
 // buildCatalog loads every requested relation and builds the
-// requested indexes, logging each load.
+// requested indexes, logging each load. With a stripe, each relation
+// keeps only its shard slice — the records whose x-interval overlaps
+// the stripe — after the full set is read or generated, so synthetic
+// generation stays deterministic across a fleet.
 func buildCatalog(log *slog.Logger, loads, unis, tigers repeatable,
-	region string, maxExt float64, seed int64, index string) (*unijoin.Catalog, error) {
+	region string, maxExt float64, seed int64, index string, stripe *shard.Interval) (*unijoin.Catalog, error) {
 	u, err := unijoin.ParseRect(region)
 	if err != nil {
 		return nil, err
@@ -150,9 +174,18 @@ func buildCatalog(log *slog.Logger, loads, unis, tigers repeatable,
 
 	cat := unijoin.NewCatalog()
 	add := func(name string, recs []unijoin.Record) error {
+		total := len(recs)
+		if stripe != nil {
+			recs = stripe.Slice(recs)
+		}
 		rel, err := cat.Load(name, recs, indexed(name))
 		if err != nil {
 			return err
+		}
+		if stripe != nil {
+			log.Info("loaded relation shard", "name", name, "stripe", stripe.String(),
+				"records", rel.Len(), "of", total, "indexed", rel.Indexed())
+			return nil
 		}
 		log.Info("loaded relation", "name", name, "records", rel.Len(),
 			"indexed", rel.Indexed(), "data_bytes", rel.DataBytes(), "index_bytes", rel.IndexBytes())

@@ -1,0 +1,94 @@
+// Package httpapi is the HTTP plumbing shared by the query service
+// (internal/server) and the shard router front (internal/shard):
+// NDJSON line streaming, plain JSON bodies, request decoding, and
+// the {"error": {...}} envelope. Both processes speak the exact same
+// wire format — a client must not be able to tell sjrouter from
+// sjserved — so the plumbing exists exactly once.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"unijoin/client"
+)
+
+// MaxBodyBytes bounds request bodies; join/window requests are tiny.
+const MaxBodyBytes = 1 << 20
+
+// LineWriter emits NDJSON lines, flushing each one so clients see
+// results as they are produced. Started reports whether any bytes
+// have reached the client — the point of no return for the HTTP
+// status code. Write failures (a vanished client) are swallowed: the
+// query itself is aborted separately through the request context.
+type LineWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+// NewLineWriter wraps a response writer for NDJSON streaming.
+func NewLineWriter(w http.ResponseWriter) *LineWriter {
+	f, _ := w.(http.Flusher)
+	return &LineWriter{w: w, flusher: f}
+}
+
+// Started reports whether a line has already been written.
+func (lw *LineWriter) Started() bool { return lw.started }
+
+// ResponseWriter returns the underlying writer, for sending a proper
+// error status while the stream is still unstarted.
+func (lw *LineWriter) ResponseWriter() http.ResponseWriter { return lw.w }
+
+// WriteLine marshals v and sends it as one flushed NDJSON line.
+func (lw *LineWriter) WriteLine(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if !lw.started {
+		lw.w.Header().Set("Content-Type", "application/x-ndjson")
+		lw.started = true
+	}
+	lw.w.Write(append(data, '\n'))
+	if lw.flusher != nil {
+		lw.flusher.Flush()
+	}
+}
+
+// WriteJSON sends a 200 with a plain JSON body, marshaling before any
+// byte is written so an unmarshalable value becomes a 500 rather than
+// a silently truncated 200.
+func WriteJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		WriteError(w, &client.APIError{
+			Status: http.StatusInternalServerError, Code: client.CodeInternal,
+			Message: "encoding response: " + err.Error(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// WriteError sends a non-2xx JSON error body ({"error": {...}}).
+func WriteError(w http.ResponseWriter, e *client.APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	json.NewEncoder(w).Encode(map[string]*client.APIError{"error": e})
+}
+
+// DecodeBody parses a JSON request body, returning an API error for
+// anything malformed or unknown.
+func DecodeBody(w http.ResponseWriter, r *http.Request, into any) *client.APIError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return &client.APIError{
+			Status: http.StatusBadRequest, Code: client.CodeBadRequest,
+			Message: "bad request body: " + err.Error(),
+		}
+	}
+	return nil
+}

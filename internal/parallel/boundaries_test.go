@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"unijoin/internal/datagen"
+	"unijoin/internal/geom"
+)
+
+// TestPartitionerFromSamplesMatchesDirect pins the cache contract:
+// boundaries computed from per-input cached sorted samples are
+// identical to boundaries computed from the records directly, so a
+// catalog can swap one for the other without perturbing a single
+// stripe assignment.
+func TestPartitionerFromSamplesMatchesDirect(t *testing.T) {
+	cases := map[string]func() ([]geom.Record, []geom.Record){
+		"uniform": func() ([]geom.Record, []geom.Record) {
+			return datagen.Uniform(3, 9000, universe, 30), datagen.Uniform(4, 7000, universe, 30)
+		},
+		"clustered": func() ([]geom.Record, []geom.Record) {
+			return clustered(11, 9000, 5000)
+		},
+		"tiny": func() ([]geom.Record, []geom.Record) {
+			return datagen.Uniform(5, 3, universe, 30), nil
+		},
+		"empty": func() ([]geom.Record, []geom.Record) { return nil, nil },
+	}
+	for name, gen := range cases {
+		t.Run(name, func(t *testing.T) {
+			a, b := gen()
+			for _, k := range []int{1, 2, 4, 7, 16} {
+				direct := NewPartitioner(universe, k, a, b)
+				cached := NewPartitionerFromSamples(universe, k,
+					SortedCenterSample(a), SortedCenterSample(b))
+				if !reflect.DeepEqual(direct.Boundaries(), cached.Boundaries()) {
+					t.Fatalf("k=%d: boundaries differ\ndirect: %v\ncached: %v",
+						k, direct.Boundaries(), cached.Boundaries())
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionerFromBoundaries checks the reconstruction path shards
+// use and its validation.
+func TestPartitionerFromBoundaries(t *testing.T) {
+	p, err := PartitionerFromBoundaries(universe, []geom.Coord{250, 500, 750})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Partitions(); got != 4 {
+		t.Fatalf("Partitions() = %d, want 4", got)
+	}
+	if got := p.Of(500); got != 2 {
+		t.Fatalf("Of(500) = %d, want 2 (boundaries are half-open)", got)
+	}
+	if _, err := PartitionerFromBoundaries(universe, []geom.Coord{250, 250}); err == nil {
+		t.Fatal("duplicate boundaries accepted")
+	}
+	if _, err := PartitionerFromBoundaries(universe, []geom.Coord{500, 250}); err == nil {
+		t.Fatal("decreasing boundaries accepted")
+	}
+	nan := geom.Coord(math.NaN())
+	if _, err := PartitionerFromBoundaries(universe, []geom.Coord{250, nan}); err == nil {
+		t.Fatal("NaN boundary accepted")
+	}
+	if _, err := PartitionerFromBoundaries(universe, []geom.Coord{geom.Coord(math.Inf(1))}); err == nil {
+		t.Fatal("infinite boundary accepted")
+	}
+}
+
+// TestJoinWithSortedSamplesMatches runs the engine with and without
+// pre-sorted samples and demands the identical pair set — the
+// boundary reuse path must be invisible to results.
+func TestJoinWithSortedSamplesMatches(t *testing.T) {
+	a, b := clustered(13, 4000, 3000)
+	o := Options{Universe: universe, Workers: 3, Partitions: 7}
+	repDirect, direct := collectPairs(t, a, b, o)
+
+	o2 := o
+	o2.SortedSamples = [][]geom.Coord{SortedCenterSample(a), SortedCenterSample(b)}
+	repCached, cached := collectPairs(t, a, b, o2)
+
+	if !reflect.DeepEqual(direct, cached) {
+		t.Fatalf("pair sets differ: direct %d pairs, cached %d pairs", len(direct), len(cached))
+	}
+	if repDirect.Partitions != repCached.Partitions {
+		t.Fatalf("partition counts differ: %d vs %d", repDirect.Partitions, repCached.Partitions)
+	}
+
+	// A windowed join must ignore the cached samples (they describe
+	// the unfiltered relation) and still be exact.
+	win := geom.NewRect(100, 100, 600, 600)
+	o2.Window = &win
+	_, windowed := collectPairs(t, a, b, o2)
+	want := map[geom.Pair]bool{}
+	for p := range brute(filterWindow(a, &win), filterWindow(b, &win)) {
+		want[p] = true
+	}
+	if !reflect.DeepEqual(windowed, want) {
+		t.Fatalf("windowed pair set wrong: got %d pairs, want %d", len(windowed), len(want))
+	}
+}

@@ -47,7 +47,12 @@ func Join(ctx context.Context, a, b []geom.Record, o Options) (Report, error) {
 	start := time.Now()
 	rep := Report{Workers: o.Workers}
 
-	part := NewPartitionerWindowed(o.Universe, o.Partitions, o.Window, a, b)
+	var part *Partitioner
+	if o.Window == nil && len(o.SortedSamples) > 0 {
+		part = NewPartitionerFromSamples(o.Universe, o.Partitions, o.SortedSamples...)
+	} else {
+		part = NewPartitionerWindowed(o.Universe, o.Partitions, o.Window, a, b)
+	}
 	k := part.Partitions()
 	rep.Partitions = k
 	if o.Workers > k {

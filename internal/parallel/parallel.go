@@ -102,6 +102,15 @@ type Options struct {
 	// Options.Window semantics.
 	Window *geom.Rect
 
+	// SortedSamples, when non-empty, supplies pre-sorted x-center
+	// samples (one per input, from SortedCenterSample) so the join
+	// skips the serial quantile sample sort of its partitioning
+	// prefix — the reuse path for stable catalog relations whose
+	// samples are cached across queries. Ignored when Window is set:
+	// a windowed join must sample only the qualifying records, which
+	// a whole-relation cache cannot know.
+	SortedSamples [][]geom.Coord
+
 	// Emit receives every result pair after the parallel phase, in
 	// deterministic partition-then-sweep order on the calling
 	// goroutine; nil counts pairs only. Buffering the pairs costs

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"math"
 	"slices"
 	"sort"
@@ -45,16 +46,69 @@ func NewPartitioner(universe geom.Rect, k int, inputs ...[]geom.Record) *Partiti
 // filter out do not vote on boundary placement, so the stripes
 // balance the records the join actually sweeps.
 func NewPartitionerWindowed(universe geom.Rect, k int, window *geom.Rect, inputs ...[]geom.Record) *Partitioner {
+	var sample []geom.Coord
+	if k > 1 {
+		for _, in := range inputs {
+			sample = appendCenterSample(sample, in, window)
+		}
+		slices.Sort(sample)
+	}
+	return newPartitionerSorted(universe, k, sample)
+}
+
+// NewPartitionerFromSamples builds a partitioner from pre-sorted
+// x-center samples (one per input, each as produced by
+// SortedCenterSample). It computes the same boundaries as
+// NewPartitioner over the sampled inputs, but replaces the serial
+// O(n log n) sample sort with a linear merge of the already-sorted
+// samples — the fast path for a catalog relation whose sample is
+// cached across queries.
+func NewPartitionerFromSamples(universe geom.Rect, k int, samples ...[]geom.Coord) *Partitioner {
+	var merged []geom.Coord
+	if k > 1 {
+		switch len(samples) {
+		case 0:
+		case 1:
+			merged = samples[0]
+		default:
+			merged = samples[0]
+			for _, s := range samples[1:] {
+				merged = mergeSorted(merged, s)
+			}
+		}
+	}
+	return newPartitionerSorted(universe, k, merged)
+}
+
+// PartitionerFromBoundaries builds a partitioner directly from
+// internal stripe boundaries (finite and strictly increasing, as
+// returned by Boundaries) — the constructor a shard uses to
+// reconstruct the partitioning a planner computed elsewhere. Unlike
+// the sampling constructors, the boundaries here come from
+// configuration, so they are validated: a NaN would otherwise slip
+// through an ordering check (every comparison with NaN is false) and
+// silently collapse stripes.
+func PartitionerFromBoundaries(universe geom.Rect, bounds []geom.Coord) (*Partitioner, error) {
+	for i, b := range bounds {
+		if math.IsNaN(float64(b)) || math.IsInf(float64(b), 0) {
+			return nil, fmt.Errorf("parallel: boundary %d is not finite in %v", i, bounds)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("parallel: boundaries must be strictly increasing, got %v", bounds)
+		}
+	}
+	return &Partitioner{universe: universe, bounds: slices.Clone(bounds)}, nil
+}
+
+// newPartitionerSorted places k-1 boundaries at the quantiles of an
+// already-sorted sample, the shared tail of every constructor.
+func newPartitionerSorted(universe geom.Rect, k int, sample []geom.Coord) *Partitioner {
 	if k < 1 {
 		k = 1
 	}
 	p := &Partitioner{universe: universe}
 	if k == 1 {
 		return p
-	}
-	var sample []geom.Coord
-	for _, in := range inputs {
-		sample = appendCenterSample(sample, in, window)
 	}
 	if len(sample) < k {
 		// Too little data to estimate quantiles: equal-width stripes.
@@ -69,12 +123,40 @@ func NewPartitionerWindowed(universe geom.Rect, k int, window *geom.Rect, inputs
 		p.dedup(universe.XLo)
 		return p
 	}
-	slices.Sort(sample)
 	for i := 1; i < k; i++ {
 		p.bounds = append(p.bounds, sample[i*len(sample)/k])
 	}
 	p.dedup(sample[0])
 	return p
+}
+
+// SortedCenterSample returns a sorted sample of up to ~sampleMax
+// record x-centers, the per-input ingredient NewPartitionerFromSamples
+// merges. Sampling strides the input exactly as NewPartitioner does,
+// so boundaries computed from cached samples match boundaries computed
+// from the records directly.
+func SortedCenterSample(recs []geom.Record) []geom.Coord {
+	sample := appendCenterSample(nil, recs, nil)
+	slices.Sort(sample)
+	return sample
+}
+
+// mergeSorted merges two sorted coordinate slices into a fresh sorted
+// slice in linear time.
+func mergeSorted(a, b []geom.Coord) []geom.Coord {
+	out := make([]geom.Coord, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // appendCenterSample appends up to ~sampleMax x-centers of one input
@@ -137,6 +219,11 @@ func (p *Partitioner) dedup(floor geom.Coord) {
 
 // Partitions returns the stripe count K.
 func (p *Partitioner) Partitions() int { return len(p.bounds) + 1 }
+
+// Boundaries returns a copy of the K-1 internal stripe boundaries in
+// strictly increasing order (empty for a single stripe) — the portable
+// description of this partitioning that a shard planner distributes.
+func (p *Partitioner) Boundaries() []geom.Coord { return slices.Clone(p.bounds) }
 
 // Of returns the stripe owning x: the unique i with
 // bounds[i-1] <= x < bounds[i], clamped into [0, K-1].

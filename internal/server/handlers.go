@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -10,10 +9,8 @@ import (
 
 	"unijoin"
 	"unijoin/client"
+	"unijoin/internal/httpapi"
 )
-
-// maxBodyBytes bounds request bodies; join/window requests are tiny.
-const maxBodyBytes = 1 << 20
 
 // maxParallelism caps the per-request worker count: the parallel
 // engine sizes partition structures from it, so an unclamped request
@@ -22,72 +19,103 @@ const maxBodyBytes = 1 << 20
 const maxParallelism = 256
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	httpapi.WriteJSON(w, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 	names := s.cat.Names()
+	stripe := s.stripeDTO()
 	out := make([]client.RelationInfo, 0, len(names))
 	for _, name := range names {
 		rel, ok := s.cat.Get(name)
 		if !ok { // dropped between Names and Get
 			continue
 		}
-		out = append(out, relationInfo(name, rel))
+		info := relationInfo(name, rel)
+		info.Stripe = stripe
+		out = append(out, info)
 	}
-	writeJSON(w, out)
+	httpapi.WriteJSON(w, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Stats())
+	httpapi.WriteJSON(w, s.Stats())
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	s.metrics.joins.Add(1)
 	var req client.JoinRequest
-	if apiErr := decodeBody(w, r, &req); apiErr != nil {
-		writeError(w, apiErr)
+	if apiErr := httpapi.DecodeBody(w, r, &req); apiErr != nil {
+		httpapi.WriteError(w, apiErr)
 		return
 	}
 	left, ok := s.cat.Get(req.Left)
 	if !ok {
-		writeError(w, notFoundErr("left", req.Left))
+		httpapi.WriteError(w, notFoundErr("left", req.Left))
 		return
 	}
 	right, ok := s.cat.Get(req.Right)
 	if !ok {
-		writeError(w, notFoundErr("right", req.Right))
+		httpapi.WriteError(w, notFoundErr("right", req.Right))
 		return
 	}
 	alg, err := unijoin.ParseAlgorithm(req.Algorithm)
 	if err != nil {
-		writeError(w, badRequestErr(err))
+		httpapi.WriteError(w, badRequestErr(err))
 		return
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMillis)
 	defer cancel()
+
+	// In stripe mode every emitted pair pays the shard ownership
+	// test — the reference-point rule that makes a fleet's summed
+	// answers exactly the single-process result — so even count-only
+	// joins must see the pairs: kernel counting would count pairs
+	// this shard does not own.
+	lw := httpapi.NewLineWriter(w)
+	var ownsPair func(l, rr uint32) bool
+	if s.stripe != nil {
+		leftXLo, apiErr := s.xloTable(ctx, left)
+		if apiErr != nil {
+			httpapi.WriteError(w, apiErr)
+			return
+		}
+		rightXLo, apiErr := s.xloTable(ctx, right)
+		if apiErr != nil {
+			httpapi.WriteError(w, apiErr)
+			return
+		}
+		ownsPair = func(l, rr uint32) bool {
+			return s.stripe.OwnsPair(leftXLo.get(l), rightXLo.get(rr))
+		}
+	}
 
 	parallelism := min(max(req.Parallelism, 0), maxParallelism)
 	q := s.cat.Workspace().Query(left, right).Algorithm(alg).Parallelism(parallelism)
 	if req.Window != nil {
 		q.Window(toRect(*req.Window))
 	}
-	lw := newLineWriter(w)
+	var owned int64
 	var pairs [][2]uint32
-	if req.CountOnly {
+	if req.CountOnly && ownsPair == nil {
 		q.CountOnly()
 	} else {
-		pairs = make([][2]uint32, 0, s.batch)
+		if !req.CountOnly {
+			pairs = make([][2]uint32, 0, s.batch)
+		}
 		q.EmitBatch(func(batch []unijoin.Pair) {
-			for len(batch) > 0 {
-				n := min(len(batch), s.batch-len(pairs))
-				for _, p := range batch[:n] {
-					pairs = append(pairs, [2]uint32{p.Left, p.Right})
+			for _, p := range batch {
+				if ownsPair != nil && !ownsPair(p.Left, p.Right) {
+					continue
 				}
-				batch = batch[n:]
+				owned++
+				if req.CountOnly {
+					continue
+				}
+				pairs = append(pairs, [2]uint32{p.Left, p.Right})
 				if len(pairs) == s.batch {
 					s.metrics.pairsStreamed.Add(int64(len(pairs)))
-					lw.writeLine(client.JoinLine{Pairs: pairs})
+					lw.WriteLine(client.JoinLine{Pairs: pairs})
 					pairs = pairs[:0]
 				}
 			}
@@ -101,40 +129,127 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(pairs) > 0 {
 		s.metrics.pairsStreamed.Add(int64(len(pairs)))
-		lw.writeLine(client.JoinLine{Pairs: pairs})
+		lw.WriteLine(client.JoinLine{Pairs: pairs})
 	}
-	lw.writeLine(client.JoinLine{Summary: joinSummary(req, alg, left, right, res, start)})
+	count := res.Count()
+	if ownsPair != nil {
+		count = owned
+	}
+	lw.WriteLine(client.JoinLine{Summary: joinSummary(req, alg, left, right, count, start)})
+}
+
+// xloLookup maps record IDs to left edges for the ownership test.
+// Every built-in generator and sjgen assigns dense 0..n-1 IDs, so the
+// common representation is a slice indexed by ID — two orders cheaper
+// per lookup than map hashing in the per-pair hot loop. Sparse ID
+// spaces (arbitrary -load files) fall back to a map. Entries for IDs
+// absent from the relation are never consulted: ownership is only
+// tested for IDs the join itself emitted.
+type xloLookup struct {
+	dense  []unijoin.Coord
+	sparse map[uint32]unijoin.Coord
+}
+
+func (l *xloLookup) get(id uint32) unijoin.Coord {
+	if l.dense != nil {
+		return l.dense[id]
+	}
+	return l.sparse[id]
+}
+
+// xloTable returns the relation's ID → left-edge lookup, built on
+// first use by scanning the relation (records are immutable once
+// loaded). Building a table also evicts cached tables whose relation
+// has been dropped or reloaded out of the catalog, so repeated
+// Drop+Load cycles on a long-lived embedded server cannot accumulate
+// orphaned tables.
+func (s *Server) xloTable(ctx context.Context, rel *unijoin.Relation) (*xloLookup, *client.APIError) {
+	if v, ok := s.xlo.Load(rel); ok {
+		return v.(*xloLookup), nil
+	}
+	s.xlo.Range(func(key, _ any) bool {
+		old := key.(*unijoin.Relation)
+		if cur, ok := s.cat.Get(old.Name()); !ok || cur != old {
+			s.xlo.Delete(key)
+		}
+		return true
+	})
+	type entry struct {
+		id  uint32
+		xlo unijoin.Coord
+	}
+	entries := make([]entry, 0, rel.Len())
+	maxID := uint32(0)
+	if mbr := rel.MBR(); mbr.Valid() {
+		if _, err := rel.WindowQuery(ctx, mbr, func(rec unijoin.Record) {
+			entries = append(entries, entry{rec.ID, rec.Rect.XLo})
+			if rec.ID > maxID {
+				maxID = rec.ID
+			}
+		}); err != nil {
+			return nil, errorFor(err)
+		}
+	}
+	table := &xloLookup{}
+	if len(entries) > 0 && int64(maxID) < 2*int64(len(entries)) {
+		table.dense = make([]unijoin.Coord, maxID+1)
+		for _, e := range entries {
+			table.dense[e.id] = e.xlo
+		}
+	} else {
+		table.sparse = make(map[uint32]unijoin.Coord, len(entries))
+		for _, e := range entries {
+			table.sparse[e.id] = e.xlo
+		}
+	}
+	s.xlo.Store(rel, table)
+	return table, nil
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	s.metrics.windows.Add(1)
 	var req client.WindowRequest
-	if apiErr := decodeBody(w, r, &req); apiErr != nil {
-		writeError(w, apiErr)
+	if apiErr := httpapi.DecodeBody(w, r, &req); apiErr != nil {
+		httpapi.WriteError(w, apiErr)
 		return
 	}
 	rel, ok := s.cat.Get(req.Relation)
 	if !ok {
-		writeError(w, notFoundErr("relation", req.Relation))
+		httpapi.WriteError(w, notFoundErr("relation", req.Relation))
 		return
 	}
 	if req.Window == nil {
-		writeError(w, badRequestErr(fmt.Errorf("window query needs a \"window\" rectangle")))
+		httpapi.WriteError(w, badRequestErr(fmt.Errorf("window query needs a \"window\" rectangle")))
 		return
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMillis)
 	defer cancel()
 
-	lw := newLineWriter(w)
+	// In stripe mode only records whose left edge falls in the
+	// stripe are reported — each record is owned by exactly one
+	// shard, so a router's merged stream has no replicated
+	// boundary-record duplicates — and the count must come from the
+	// filtered emit path rather than WindowQuery's total.
+	lw := httpapi.NewLineWriter(w)
+	var owned int64
 	var emit func(unijoin.Record)
 	var recs []client.RecordOut
-	if !req.CountOnly {
-		recs = make([]client.RecordOut, 0, s.batch)
+	if !req.CountOnly || s.stripe != nil {
+		if !req.CountOnly {
+			recs = make([]client.RecordOut, 0, s.batch)
+		}
 		emit = func(rec unijoin.Record) {
+			if s.stripe != nil && !s.stripe.OwnsRecord(rec.Rect) {
+				return
+			}
+			owned++
+			if req.CountOnly {
+				return
+			}
 			recs = append(recs, client.RecordOut{ID: rec.ID, Rect: fromRect(rec.Rect)})
 			if len(recs) == s.batch {
 				s.metrics.recordsStreamed.Add(int64(len(recs)))
-				lw.writeLine(client.WindowLine{Records: recs})
+				lw.WriteLine(client.WindowLine{Records: recs})
 				recs = recs[:0]
 			}
 		}
@@ -147,9 +262,12 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(recs) > 0 {
 		s.metrics.recordsStreamed.Add(int64(len(recs)))
-		lw.writeLine(client.WindowLine{Records: recs})
+		lw.WriteLine(client.WindowLine{Records: recs})
 	}
-	lw.writeLine(client.WindowLine{Summary: &client.WindowSummary{
+	if s.stripe != nil {
+		n = owned
+	}
+	lw.WriteLine(client.WindowLine{Summary: &client.WindowSummary{
 		Relation:      req.Relation,
 		Records:       n,
 		Indexed:       rel.Indexed(),
@@ -169,12 +287,12 @@ func requestContext(r *http.Request, timeoutMillis int64) (context.Context, cont
 }
 
 // joinSummary assembles the terminal line of a join response.
-func joinSummary(req client.JoinRequest, alg unijoin.Algorithm, left, right *unijoin.Relation, res *unijoin.Results, start time.Time) *client.JoinSummary {
+func joinSummary(req client.JoinRequest, alg unijoin.Algorithm, left, right *unijoin.Relation, pairs int64, start time.Time) *client.JoinSummary {
 	return &client.JoinSummary{
 		Left:          req.Left,
 		Right:         req.Right,
 		Algorithm:     alg.String(),
-		Pairs:         res.Count(),
+		Pairs:         pairs,
 		LeftRecords:   left.Len(),
 		RightRecords:  right.Len(),
 		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
@@ -203,19 +321,19 @@ func relationInfo(name string, rel *unijoin.Relation) client.RelationInfo {
 // response is already under way (the status line is long gone by
 // then). Cancellations are counted separately — they are load
 // shedding, not bugs.
-func (s *Server) finishError(lw *lineWriter, err error, wrap func(*client.APIError) any) {
+func (s *Server) finishError(lw *httpapi.LineWriter, err error, wrap func(*client.APIError) any) {
 	apiErr := errorFor(err)
 	if apiErr.Code == client.CodeCanceled {
 		s.metrics.canceled.Add(1)
 	}
-	if !lw.started {
-		writeError(lw.w, apiErr) // the middleware counts non-canceled statuses
+	if !lw.Started() {
+		httpapi.WriteError(lw.ResponseWriter(), apiErr) // the middleware counts non-canceled statuses
 		return
 	}
 	if apiErr.Code != client.CodeCanceled {
 		s.metrics.errors.Add(1)
 	}
-	lw.writeLine(wrap(apiErr))
+	lw.WriteLine(wrap(apiErr))
 }
 
 // errorFor classifies a query error into the API's error space.
@@ -260,71 +378,6 @@ func badRequestErr(err error) *client.APIError {
 		Status: http.StatusBadRequest, Code: client.CodeBadRequest,
 		Message: err.Error(),
 	}
-}
-
-// decodeBody parses a JSON request body, returning an API error for
-// anything malformed.
-func decodeBody(w http.ResponseWriter, r *http.Request, into any) *client.APIError {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		return badRequestErr(fmt.Errorf("bad request body: %w", err))
-	}
-	return nil
-}
-
-// lineWriter emits NDJSON lines, flushing each one so clients see
-// results as they are produced. started flips once any bytes have
-// reached the client — the point of no return for the status code.
-// Write failures (a vanished client) are swallowed: the query itself
-// is aborted separately through the request context.
-type lineWriter struct {
-	w       http.ResponseWriter
-	flusher http.Flusher
-	started bool
-}
-
-func newLineWriter(w http.ResponseWriter) *lineWriter {
-	f, _ := w.(http.Flusher)
-	return &lineWriter{w: w, flusher: f}
-}
-
-func (lw *lineWriter) writeLine(v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return
-	}
-	if !lw.started {
-		lw.w.Header().Set("Content-Type", "application/x-ndjson")
-		lw.started = true
-	}
-	lw.w.Write(append(data, '\n'))
-	if lw.flusher != nil {
-		lw.flusher.Flush()
-	}
-}
-
-// writeJSON sends a 200 with a plain JSON body, marshaling before any
-// byte is written so an unmarshalable value becomes a 500 rather
-// than a silently truncated 200.
-func writeJSON(w http.ResponseWriter, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		writeError(w, &client.APIError{
-			Status: http.StatusInternalServerError, Code: client.CodeInternal,
-			Message: "encoding response: " + err.Error(),
-		})
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(data, '\n'))
-}
-
-// writeError sends a non-2xx JSON error body ({"error": {...}}).
-func writeError(w http.ResponseWriter, e *client.APIError) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(e.Status)
-	json.NewEncoder(w).Encode(map[string]*client.APIError{"error": e})
 }
 
 // toRect converts a wire rectangle to a normalized unijoin.Rect.

@@ -17,11 +17,14 @@ package server
 import (
 	"log/slog"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"unijoin"
 	"unijoin/client"
+	"unijoin/internal/httpapi"
+	"unijoin/internal/shard"
 )
 
 // DefaultBatchPairs is how many pairs or records one NDJSON batch
@@ -49,6 +52,14 @@ type Config struct {
 	// DefaultBatchPairs; clamped so every line fits the client
 	// package's line scanner).
 	BatchPairs int
+	// Stripe, when set, makes this process one shard of a fleet: the
+	// catalog is expected to hold only records overlapping the
+	// stripe (sjserved -stripe slices at load), and every join pair
+	// and window record is filtered by the shard ownership rules
+	// (see internal/shard), so a router summing the fleet's answers
+	// gets exactly the single-process result. The stripe is exposed
+	// on /v1/stats and /v1/relations for the router's fleet check.
+	Stripe *shard.Interval
 }
 
 // Server is the HTTP query service. Create with New, expose with
@@ -61,8 +72,15 @@ type Server struct {
 	timeout time.Duration
 	log     *slog.Logger
 	batch   int
+	stripe  *shard.Interval
 	start   time.Time
 	mux     *http.ServeMux
+
+	// xlo caches each relation's ID → left-edge table, the lookup
+	// behind the per-pair shard ownership test (stripe mode only).
+	// Keyed by *unijoin.Relation, so a reloaded relation gets a
+	// fresh table.
+	xlo sync.Map
 
 	metrics metrics
 }
@@ -100,6 +118,7 @@ func New(cfg Config) *Server {
 		timeout: cfg.Timeout,
 		log:     log,
 		batch:   batch,
+		stripe:  cfg.Stripe,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 	}
@@ -109,7 +128,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/join", s.instrument("join", s.withTimeout(s.handleJoin)))
 	s.mux.Handle("POST /v1/window", s.instrument("window", s.withTimeout(s.handleWindow)))
 	s.mux.Handle("/", s.instrument("notfound", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, &client.APIError{
+		httpapi.WriteError(w, &client.APIError{
 			Status: http.StatusNotFound, Code: client.CodeNotFound,
 			Message: "no such endpoint: " + r.Method + " " + r.URL.Path,
 		})
@@ -120,9 +139,19 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler, middleware included.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// stripeDTO returns the server's stripe in wire form (nil when the
+// process serves the whole universe).
+func (s *Server) stripeDTO() *client.Stripe {
+	if s.stripe == nil {
+		return nil
+	}
+	return shard.ToStripe(*s.stripe)
+}
+
 // Stats snapshots the server's counters (the body of GET /v1/stats).
 func (s *Server) Stats() client.Stats {
 	return client.Stats{
+		Stripe:          s.stripeDTO(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Relations:       s.cat.Len(),
 		Requests:        s.metrics.requests.Load(),

@@ -15,6 +15,7 @@ import (
 	"unijoin"
 	"unijoin/client"
 	"unijoin/internal/datagen"
+	"unijoin/internal/shard"
 )
 
 // testCatalog loads the two synthetic relations the acceptance test
@@ -378,4 +379,82 @@ func TestHealthz(t *testing.T) {
 	if err := cl.Health(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestStripeModeFiltersAndEvictsCache covers the -stripe serving
+// mode directly: counts come from the ownership-filtered emit path
+// (so a stripe server's count is a strict subset of the full join),
+// stats/relations expose the stripe, and the per-relation xlo cache
+// drops tables for relations that were reloaded out of the catalog.
+func TestStripeModeFiltersAndEvictsCache(t *testing.T) {
+	cat := testCatalog(t, 800)
+	iv, err := shard.ParseInterval(":500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, cl, _ := testServer(t, Config{Catalog: cat, Stripe: &iv})
+	ctx := context.Background()
+
+	full, err := cl.JoinCount(ctx, client.JoinRequest{Left: "roads", Right: "hydro"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The catalog holds the full relations here, so the stripe filter
+	// must report only the pairs whose reference point is below 500 —
+	// more than zero, fewer than all.
+	if full.Pairs <= 0 {
+		t.Fatal("no owned pairs")
+	}
+	res, err := cat.Workspace().Query(mustGet(t, cat, "roads"), mustGet(t, cat, "hydro")).CountOnly().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Pairs >= res.Count() {
+		t.Fatalf("stripe count %d not below full count %d", full.Pairs, res.Count())
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stripe == nil || stats.Stripe.Lo != nil || stats.Stripe.Hi == nil || *stats.Stripe.Hi != 500 {
+		t.Fatalf("stats stripe = %+v, want [ , 500)", stats.Stripe)
+	}
+	infos, err := cl.Relations(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 || infos[0].Stripe == nil {
+		t.Fatal("relations do not expose the stripe")
+	}
+
+	// Reload a relation: the next table build must evict the old
+	// relation's cached table.
+	old := mustGet(t, cat, "hydro")
+	if !cat.Drop("hydro") {
+		t.Fatal("drop failed")
+	}
+	u := unijoin.NewRect(0, 0, 1000, 1000)
+	if _, err := cat.Load("hydro", datagen.Uniform(9, 400, u, 40), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.JoinCount(ctx, client.JoinRequest{Left: "roads", Right: "hydro"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.xlo.Load(old); ok {
+		t.Fatal("dropped relation's xlo table still cached")
+	}
+	entries := 0
+	s.xlo.Range(func(_, _ any) bool { entries++; return true })
+	if entries != 2 {
+		t.Fatalf("xlo cache holds %d tables, want 2 (roads + reloaded hydro)", entries)
+	}
+}
+
+func mustGet(t *testing.T, cat *unijoin.Catalog, name string) *unijoin.Relation {
+	t.Helper()
+	rel, ok := cat.Get(name)
+	if !ok {
+		t.Fatalf("relation %q missing", name)
+	}
+	return rel
 }

@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+
+	"unijoin/client"
+	"unijoin/internal/geom"
+)
+
+// Router fans queries out to a fleet of sjserved shard endpoints and
+// gathers the results: join and window streams are merged as shard
+// batches arrive, and per-shard summaries are summed into one
+// response. Because each shard filters its output by its ownership
+// interval, the merged pair and record sets are exact and
+// duplicate-free — the distributed run returns precisely the
+// single-process answer, for every join algorithm. A Router is safe
+// for concurrent use.
+type Router struct {
+	endpoints []string
+	clients   []*client.Client
+}
+
+// NewRouter builds a router over the given shard base URLs (at least
+// one). httpClient may be nil for http.DefaultClient; per-call
+// contexts govern cancellation either way.
+func NewRouter(endpoints []string, httpClient *http.Client) (*Router, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one shard endpoint")
+	}
+	r := &Router{endpoints: append([]string(nil), endpoints...)}
+	for _, ep := range r.endpoints {
+		r.clients = append(r.clients, client.New(ep, httpClient))
+	}
+	return r, nil
+}
+
+// Shards returns the number of downstream shard endpoints.
+func (r *Router) Shards() int { return len(r.clients) }
+
+// Endpoints returns the shard base URLs in configuration order.
+func (r *Router) Endpoints() []string { return append([]string(nil), r.endpoints...) }
+
+// scatter runs fn once per shard concurrently, canceling the
+// remaining shards as soon as one fails, and returns the root
+// failure: the first error that is not itself a cancellation, so the
+// shard that broke the fan-out is reported rather than the shards it
+// took down.
+func (r *Router) scatter(ctx context.Context, fn func(ctx context.Context, i int, cl *client.Client) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(r.clients))
+	var wg sync.WaitGroup
+	for i, cl := range r.clients {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			if err := fn(ctx, i, cl); err != nil {
+				errs[i] = fmt.Errorf("shard %d (%s): %w", i, r.endpoints[i], err)
+				cancel()
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, client.ErrCanceled) {
+			return err
+		}
+	}
+	return firstErr
+}
+
+// Health checks every shard's liveness probe, returning nil only when
+// the whole fleet is up.
+func (r *Router) Health(ctx context.Context) error {
+	return r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		return cl.Health(ctx)
+	})
+}
+
+// Verify health-checks the fleet and validates its sharding: every
+// shard must be reachable, and with more than one shard each must
+// report a -stripe interval, with the intervals tiling the x-axis —
+// otherwise the fleet would drop or double-count pairs. It returns
+// each shard's stats (in endpoint order) for logging.
+func (r *Router) Verify(ctx context.Context) ([]client.Stats, error) {
+	stats := make([]client.Stats, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		s, err := cl.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		stats[i] = *s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.clients) == 1 {
+		// A single shard must serve everything: a lone bounded stripe
+		// (say, a scale-down that dropped the other -shard flags)
+		// would silently answer with a subset of the data.
+		if iv := FromStripe(stats[0].Stripe); !iv.Unbounded() {
+			return nil, fmt.Errorf("shard: single shard %s serves only stripe %s; a one-shard fleet must serve everything",
+				r.endpoints[0], iv)
+		}
+		return stats, nil
+	}
+	intervals := make([]Interval, len(stats))
+	for i, s := range stats {
+		if s.Stripe == nil {
+			return nil, fmt.Errorf("shard: %d shards configured but shard %d (%s) serves no -stripe; its full catalog would double-count pairs",
+				len(stats), i, r.endpoints[i])
+		}
+		intervals[i] = FromStripe(s.Stripe)
+	}
+	sort.Slice(intervals, func(a, b int) bool { return intervals[a].Lo < intervals[b].Lo })
+	if err := Validate(intervals); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// Join scatters the join to every shard and merges their streams.
+// onBatch (which may be nil) receives pair batches as they arrive
+// from any shard, serialized — batches from different shards
+// interleave, so cross-shard arrival order is not deterministic, but
+// the merged set and the summed count are exact. The summary sums
+// Pairs and the per-shard record counts (boundary-crossing records
+// count once per shard that loaded them) and reports the slowest
+// shard's elapsed time.
+func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(pairs [][2]uint32)) (*client.JoinSummary, error) {
+	var mu sync.Mutex
+	sums := make([]*client.JoinSummary, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		var cb func([][2]uint32)
+		if onBatch != nil {
+			cb = func(batch [][2]uint32) {
+				mu.Lock()
+				defer mu.Unlock()
+				onBatch(batch)
+			}
+		}
+		s, err := cl.JoinBatches(ctx, req, cb)
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := *sums[0]
+	for _, s := range sums[1:] {
+		merged.Pairs += s.Pairs
+		merged.LeftRecords += s.LeftRecords
+		merged.RightRecords += s.RightRecords
+		if s.ElapsedMillis > merged.ElapsedMillis {
+			merged.ElapsedMillis = s.ElapsedMillis
+		}
+	}
+	return &merged, nil
+}
+
+// Window scatters the window query and merges the record streams,
+// mirroring Join: batches interleave across shards, counts sum
+// exactly, Indexed reports whether every shard answered through an
+// R-tree, and the elapsed time is the slowest shard's.
+func (r *Router) Window(ctx context.Context, req client.WindowRequest, onBatch func([]client.RecordOut)) (*client.WindowSummary, error) {
+	var mu sync.Mutex
+	sums := make([]*client.WindowSummary, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		var cb func([]client.RecordOut)
+		if onBatch != nil {
+			cb = func(batch []client.RecordOut) {
+				mu.Lock()
+				defer mu.Unlock()
+				onBatch(batch)
+			}
+		}
+		s, err := cl.WindowBatches(ctx, req, cb)
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := *sums[0]
+	for _, s := range sums[1:] {
+		merged.Records += s.Records
+		merged.Indexed = merged.Indexed && s.Indexed
+		if s.ElapsedMillis > merged.ElapsedMillis {
+			merged.ElapsedMillis = s.ElapsedMillis
+		}
+	}
+	return &merged, nil
+}
+
+// Relations merges the shards' catalogs by name: record and byte
+// counts sum across shards (replicated boundary records count once
+// per holding shard), Indexed requires every shard's slice indexed,
+// the MBR is the union of the shard slices, and Shards counts how
+// many shards hold the relation.
+func (r *Router) Relations(ctx context.Context) ([]client.RelationInfo, error) {
+	lists := make([][]client.RelationInfo, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		l, err := cl.Relations(ctx)
+		if err != nil {
+			return err
+		}
+		lists[i] = l
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*client.RelationInfo)
+	var names []string
+	for _, list := range lists {
+		for _, info := range list {
+			m, ok := byName[info.Name]
+			if !ok {
+				names = append(names, info.Name)
+				merged := info
+				merged.Stripe = nil
+				merged.Shards = 1
+				byName[info.Name] = &merged
+				continue
+			}
+			m.Records += info.Records
+			m.DataBytes += info.DataBytes
+			m.IndexBytes += info.IndexBytes
+			m.Indexed = m.Indexed && info.Indexed
+			m.MBR = unionRects(m.MBR, info.MBR)
+			m.Shards++
+		}
+	}
+	sort.Strings(names)
+	out := make([]client.RelationInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+// Stats aggregates the fleet's counters: request, join, window,
+// error, and streaming counters sum; Relations is the largest shard
+// catalog; UptimeSeconds is the youngest shard's (how long the whole
+// fleet has been up); Shards is the fleet size.
+func (r *Router) Stats(ctx context.Context) (*client.Stats, error) {
+	stats := make([]client.Stats, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		s, err := cl.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		stats[i] = *s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := client.Stats{Shards: len(stats), UptimeSeconds: math.Inf(1)}
+	for _, s := range stats {
+		if s.UptimeSeconds < agg.UptimeSeconds {
+			agg.UptimeSeconds = s.UptimeSeconds
+		}
+		if s.Relations > agg.Relations {
+			agg.Relations = s.Relations
+		}
+		agg.Requests += s.Requests
+		agg.InFlight += s.InFlight
+		agg.Joins += s.Joins
+		agg.Windows += s.Windows
+		agg.Errors += s.Errors
+		agg.Canceled += s.Canceled
+		agg.PairsStreamed += s.PairsStreamed
+		agg.RecordsStreamed += s.RecordsStreamed
+	}
+	return &agg, nil
+}
+
+// ToStripe converts an interval to its wire form (nil bounds for the
+// infinite sentinels).
+func ToStripe(iv Interval) *client.Stripe {
+	s := &client.Stripe{}
+	if !math.IsInf(float64(iv.Lo), -1) {
+		lo := float64(iv.Lo)
+		s.Lo = &lo
+	}
+	if !math.IsInf(float64(iv.Hi), 1) {
+		hi := float64(iv.Hi)
+		s.Hi = &hi
+	}
+	return s
+}
+
+// FromStripe converts a wire stripe back to an interval.
+func FromStripe(s *client.Stripe) Interval {
+	iv := Everything()
+	if s == nil {
+		return iv
+	}
+	if s.Lo != nil {
+		iv.Lo = geom.Coord(*s.Lo)
+	}
+	if s.Hi != nil {
+		iv.Hi = geom.Coord(*s.Hi)
+	}
+	return iv
+}
+
+// unionRects unions two wire rectangles, treating the zero rectangle
+// as empty (the wire form of an empty relation's invalid MBR).
+func unionRects(a, b client.Rect) client.Rect {
+	if a == (client.Rect{}) {
+		return b
+	}
+	if b == (client.Rect{}) {
+		return a
+	}
+	return client.Rect{
+		XLo: math.Min(a.XLo, b.XLo), YLo: math.Min(a.YLo, b.YLo),
+		XHi: math.Max(a.XHi, b.XHi), YHi: math.Max(a.YHi, b.YHi),
+	}
+}

@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"unijoin/client"
+	"unijoin/internal/httpapi"
+)
+
+// ServiceConfig configures a Service.
+type ServiceConfig struct {
+	// Router is the shard fleet to serve over. Required.
+	Router *Router
+	// Timeout is the router-side ceiling per join/window request
+	// (a request's own timeout_ms may shorten it; shards additionally
+	// apply their own ceilings). Zero means no ceiling.
+	Timeout time.Duration
+	// Logger receives one line per request; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// Service is the HTTP front of a Router: it speaks exactly the
+// sjserved API — the same five endpoints, the same NDJSON streams,
+// the same wire types — so clients cannot tell a router from a single
+// server, except that /v1/stats reports the fleet size. cmd/sjrouter
+// runs one under an http.Server.
+type Service struct {
+	router  *Router
+	timeout time.Duration
+	log     *slog.Logger
+	mux     *http.ServeMux
+}
+
+// NewService builds the HTTP layer over cfg.Router.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.Router == nil {
+		panic("shard: ServiceConfig.Router is required")
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Service{router: cfg.Router, timeout: cfg.Timeout, log: log, mux: http.NewServeMux()}
+	s.mux.Handle("GET /v1/healthz", s.logged("healthz", s.handleHealthz))
+	s.mux.Handle("GET /v1/relations", s.logged("relations", s.handleRelations))
+	s.mux.Handle("GET /v1/stats", s.logged("stats", s.handleStats))
+	s.mux.Handle("POST /v1/join", s.logged("join", s.handleJoin))
+	s.mux.Handle("POST /v1/window", s.logged("window", s.handleWindow))
+	s.mux.Handle("/", s.logged("notfound", func(w http.ResponseWriter, r *http.Request) {
+		httpapi.WriteError(w, &client.APIError{
+			Status: http.StatusNotFound, Code: client.CodeNotFound,
+			Message: "no such endpoint: " + r.Method + " " + r.URL.Path,
+		})
+	}))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// logged is the per-request logging middleware.
+func (s *Service) logged(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.log.Info("request",
+			"endpoint", endpoint,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"elapsed", time.Since(start).Round(time.Microsecond).String(),
+		)
+	})
+}
+
+// handleHealthz reports healthy only when every shard is: the router
+// is up exactly when the fleet can answer queries, which is what an
+// orchestrator's probe needs to know.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.router.Health(r.Context()); err != nil {
+		httpapi.WriteError(w, &client.APIError{
+			Status: http.StatusServiceUnavailable, Code: client.CodeUnavailable,
+			Message: err.Error(),
+		})
+		return
+	}
+	httpapi.WriteJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleRelations(w http.ResponseWriter, r *http.Request) {
+	rels, err := s.router.Relations(r.Context())
+	if err != nil {
+		httpapi.WriteError(w, apiErrorFor(err))
+		return
+	}
+	httpapi.WriteJSON(w, rels)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.router.Stats(r.Context())
+	if err != nil {
+		httpapi.WriteError(w, apiErrorFor(err))
+		return
+	}
+	httpapi.WriteJSON(w, stats)
+}
+
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req client.JoinRequest
+	if apiErr := httpapi.DecodeBody(w, r, &req); apiErr != nil {
+		httpapi.WriteError(w, apiErr)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+
+	lw := httpapi.NewLineWriter(w)
+	var onBatch func([][2]uint32)
+	if !req.CountOnly {
+		onBatch = func(batch [][2]uint32) {
+			lw.WriteLine(client.JoinLine{Pairs: batch})
+		}
+	}
+	sum, err := s.router.Join(ctx, req, onBatch)
+	if err != nil {
+		s.finishError(lw, err, func(e *client.APIError) any { return client.JoinLine{Error: e} })
+		return
+	}
+	lw.WriteLine(client.JoinLine{Summary: sum})
+}
+
+func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
+	var req client.WindowRequest
+	if apiErr := httpapi.DecodeBody(w, r, &req); apiErr != nil {
+		httpapi.WriteError(w, apiErr)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+
+	lw := httpapi.NewLineWriter(w)
+	var onBatch func([]client.RecordOut)
+	if !req.CountOnly {
+		onBatch = func(batch []client.RecordOut) {
+			lw.WriteLine(client.WindowLine{Records: batch})
+		}
+	}
+	sum, err := s.router.Window(ctx, req, onBatch)
+	if err != nil {
+		s.finishError(lw, err, func(e *client.APIError) any { return client.WindowLine{Error: e} })
+		return
+	}
+	lw.WriteLine(client.WindowLine{Summary: sum})
+}
+
+// requestContext narrows the request context by the service timeout
+// and the request body's own timeout, if any.
+func (s *Service) requestContext(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	timeout := s.timeout
+	if t := time.Duration(timeoutMillis) * time.Millisecond; timeoutMillis > 0 && (timeout <= 0 || t < timeout) {
+		timeout = t
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// finishError reports a failed scatter: as an HTTP status when
+// nothing has streamed yet, or as a terminal error line mid-stream.
+func (s *Service) finishError(lw *httpapi.LineWriter, err error, wrap func(*client.APIError) any) {
+	apiErr := apiErrorFor(err)
+	if !lw.Started() {
+		httpapi.WriteError(lw.ResponseWriter(), apiErr)
+		return
+	}
+	lw.WriteLine(wrap(apiErr))
+}
+
+// apiErrorFor classifies a router error for the wire: a shard's own
+// *APIError keeps its status and code (with the shard identified in
+// the message), cancellations map to 504, and anything else — an
+// unreachable shard, a transport failure — to 502 unavailable.
+func apiErrorFor(err error) *client.APIError {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return &client.APIError{Status: apiErr.Status, Code: apiErr.Code, Message: err.Error()}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &client.APIError{
+			Status: http.StatusGatewayTimeout, Code: client.CodeCanceled,
+			Message: err.Error(),
+		}
+	}
+	return &client.APIError{
+		Status: http.StatusBadGateway, Code: client.CodeUnavailable,
+		Message: err.Error(),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"unijoin/internal/core"
+	"unijoin/internal/geom"
 	"unijoin/internal/parallel"
 	"unijoin/internal/stream"
 )
@@ -243,6 +244,16 @@ func (w *Workspace) runParallel(ctx context.Context, a, b *Relation, opts *JoinO
 	recsB, err := stream.ReadAll(b.file, stream.Records)
 	if err != nil {
 		return nil, core.Result{}, err
+	}
+	if po.Window == nil {
+		// Reuse each relation's cached x-center sample so repeated
+		// queries on a stable catalog skip the serial quantile sample
+		// sort of the partitioning prefix. Windowed joins sample only
+		// the qualifying records, which the whole-relation cache
+		// cannot provide.
+		po.SortedSamples = [][]geom.Coord{
+			a.sortedSampleFrom(recsA), b.sortedSampleFrom(recsB),
+		}
 	}
 	rep, err := parallel.Join(ctx, recsA, recsB, po)
 	if err != nil {

@@ -91,6 +91,13 @@
 // cmd/sjserved serves both query classes over HTTP with streaming
 // NDJSON responses; the client package is its Go client.
 //
+// Serving also scales across processes: Catalog.StripeBoundaries
+// exports the engine's sample-balanced stripe cuts (the per-relation
+// sample is cached across queries), sjserved -stripe lo:hi restricts
+// a process to one stripe shard, and cmd/sjrouter scatter-gathers a
+// shard fleet behind the identical HTTP API — returning exactly the
+// single-process answer for every algorithm (see internal/shard).
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure plus the
 // wall-clock results of the parallel engine.
@@ -102,6 +109,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"unijoin/internal/core"
 	"unijoin/internal/geom"
@@ -300,6 +308,16 @@ type Relation struct {
 	tree *rtree.Tree
 	mbr  Rect
 	n    int64
+
+	// sampleMu guards sample, the lazily computed sorted x-center
+	// sample behind StripeBoundaries and the parallel engine's
+	// boundary reuse. A relation's records never change after
+	// AddRelation, so the sample is computed at most once per
+	// relation; reloading a catalog name creates a fresh Relation and
+	// with it a fresh cache.
+	sampleMu sync.Mutex
+	sample   []Coord
+	sampled  bool
 }
 
 // AddRelation writes records to the workspace as a new non-indexed
