@@ -55,6 +55,22 @@ type JoinRequest struct {
 	// TimeoutMillis bounds this request server-side; the server's own
 	// per-request timeout still applies as a ceiling.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Trace asks the server to include a per-phase wall-clock
+	// breakdown (partition/sweep/stream) in the summary line.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// PhaseTrace is the per-query phase breakdown returned when a join
+// request sets Trace. Partition covers input preparation (external
+// sorts, distribution passes); Sweep covers the join kernel or index
+// traversal; Stream covers writing result batches to the response.
+// Pure-traversal algorithms (ST, BFRJ) have no partition phase, so
+// their PartitionMillis is zero. A router reports the slowest shard
+// per phase, matching how it reports ElapsedMillis.
+type PhaseTrace struct {
+	PartitionMillis float64 `json:"partition_ms"`
+	SweepMillis     float64 `json:"sweep_ms"`
+	StreamMillis    float64 `json:"stream_ms"`
 }
 
 // JoinSummary is the terminal line of a successful join response.
@@ -67,6 +83,9 @@ type JoinSummary struct {
 	RightRecords int64  `json:"right_records"`
 	// ElapsedMillis is the server-side wall-clock time of the join.
 	ElapsedMillis float64 `json:"elapsed_ms"`
+	// Trace is the per-phase breakdown, present only when the request
+	// set Trace.
+	Trace *PhaseTrace `json:"trace,omitempty"`
 }
 
 // WindowRequest asks for the records of one relation intersecting a
@@ -161,6 +180,33 @@ type Stats struct {
 	// Shards is set by a router: the number of downstream shard
 	// processes whose counters are aggregated into this response.
 	Shards int `json:"shards,omitempty"`
+	// JoinLatencyEWMAMillis is the exponentially-weighted moving
+	// average of join latency per algorithm, in milliseconds — the
+	// steady-state estimate the auto planner and a future rebalancer
+	// consume. Absent until the first join completes.
+	JoinLatencyEWMAMillis map[string]float64 `json:"join_latency_ewma_ms,omitempty"`
+	// ShardStats is set by a router: one entry per downstream shard,
+	// combining the shard's own counters with the router's view of its
+	// scatter latency and error rate.
+	ShardStats []ShardStat `json:"shard_stats,omitempty"`
+}
+
+// ShardStat is a router's per-shard health line: the shard's
+// self-reported counters plus the scatter latency the router observes
+// from its side of the connection.
+type ShardStat struct {
+	Endpoint string  `json:"endpoint"`
+	Stripe   *Stripe `json:"stripe,omitempty"`
+	// Requests, InFlight, and Errors are the shard's own counters.
+	Requests int64 `json:"requests"`
+	InFlight int64 `json:"in_flight"`
+	Errors   int64 `json:"errors"`
+	// ScatterRequests and ScatterErrors count the router's calls to
+	// this shard; LatencyEWMAMillis is the router-observed smoothed
+	// per-call latency.
+	ScatterRequests   int64   `json:"scatter_requests"`
+	ScatterErrors     int64   `json:"scatter_errors"`
+	LatencyEWMAMillis float64 `json:"latency_ewma_ms"`
 }
 
 // Error codes carried by APIError.Code, one per error class the

@@ -15,6 +15,27 @@ import (
 // server-capped far below this.
 const maxLineBytes = 1 << 20
 
+// requestIDHeader mirrors the header name internal/httpapi uses; the
+// client package cannot import it (the dependency points the other
+// way), so the constant exists on both sides of the wire.
+const requestIDHeader = "X-Request-Id"
+
+// ridKey is the context key carrying a request's correlation ID.
+type ridKey struct{}
+
+// WithRequestID returns a context carrying a request correlation ID;
+// every Client call under it sends the ID as X-Request-Id, so a query
+// can be followed client → router → shard through the fleet's logs.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestIDFrom returns the correlation ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
 // Client talks to one sjserved instance. The zero value is not
 // usable; construct with New. Client is safe for concurrent use.
 type Client struct {
@@ -173,6 +194,9 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	if id := RequestIDFrom(ctx); id != "" {
+		req.Header.Set(requestIDHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -196,6 +220,9 @@ func (c *Client) postStream(ctx context.Context, path string, in any) (io.ReadCl
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := RequestIDFrom(ctx); id != "" {
+		req.Header.Set(requestIDHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"unijoin/internal/httpapi"
 	"unijoin/internal/shard"
 )
 
@@ -54,10 +55,11 @@ func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8480", "listen address")
-		timeout = flag.Duration("timeout", 30*time.Second, "router-side ceiling per join/window request (0 = none)")
-		wait    = flag.Duration("wait", 30*time.Second, "how long to retry the startup fleet check before giving up")
-		shards  repeatable
+		addr      = flag.String("addr", ":8480", "listen address")
+		timeout   = flag.Duration("timeout", 30*time.Second, "router-side ceiling per join/window request (0 = none)")
+		wait      = flag.Duration("wait", 30*time.Second, "how long to retry the startup fleet check before giving up")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty = off)")
+		shards    repeatable
 	)
 	flag.Var(&shards, "shard", "base URL of one sjserved shard (repeatable)")
 	flag.Parse()
@@ -76,6 +78,17 @@ func main() {
 
 	svc := shard.NewService(shard.ServiceConfig{Router: router, Timeout: *timeout, Logger: log})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	if *pprofAddr != "" {
+		// Same side-listener rule as sjserved: profiling never rides
+		// the query port, and a bind failure is fatal.
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, httpapi.PprofMux()); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -54,6 +54,7 @@ import (
 
 	"unijoin"
 	"unijoin/internal/datagen"
+	"unijoin/internal/httpapi"
 	"unijoin/internal/server"
 	"unijoin/internal/shard"
 	"unijoin/internal/tiger"
@@ -77,6 +78,7 @@ func main() {
 		maxExt    = flag.Float64("maxext", 20, "max rectangle extent for -uniform relations")
 		seed      = flag.Int64("seed", 1997, "generation seed for synthetic relations")
 		stripeStr = flag.String("stripe", "", "serve one stripe shard lo:hi of the data (either side may be empty; see internal/shard)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 		loads     repeatable
 		unis      repeatable
 		tigers    repeatable
@@ -106,6 +108,18 @@ func main() {
 
 	srv := server.New(server.Config{Catalog: cat, Timeout: *timeout, Logger: log, Stripe: stripe})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		// The profiler rides its own listener, so it is never exposed
+		// on the query port; a failure to bind is fatal because asking
+		// for profiling and silently not getting it is worse.
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, httpapi.PprofMux()); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -225,6 +225,16 @@ type Result struct {
 	// Machine.CPUTime.
 	HostCPU time.Duration
 
+	// PartitionWall and SweepWall split HostCPU the way the parallel
+	// engine's Report splits its phases: time spent preparing inputs
+	// (external sorts, PBSM distribution, scanner setup) versus time
+	// in the sweep or traversal that emits pairs. ST and BFRJ have no
+	// preparation phase, so their PartitionWall is zero. The serving
+	// layer feeds these into its per-phase histograms and per-query
+	// traces.
+	PartitionWall time.Duration
+	SweepWall     time.Duration
+
 	// SortStats describe the external sorts run on non-indexed inputs
 	// (SSSJ and PQ), in input order.
 	SortStats []stream.SortStats

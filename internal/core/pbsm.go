@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
@@ -134,6 +135,7 @@ func PBSM(ctx context.Context, opts Options, a, b *iosim.File) (Result, error) {
 			return files, nil
 		}
 
+		distStart := time.Now()
 		partsA, err := distribute(a)
 		if err != nil {
 			return err
@@ -142,6 +144,7 @@ func PBSM(ctx context.Context, opts Options, a, b *iosim.File) (Result, error) {
 		if err != nil {
 			return err
 		}
+		res.PartitionWall = time.Since(distStart)
 		if read > 0 {
 			stats.Replication = float64(written) / float64(read)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
@@ -35,6 +36,10 @@ func PQ(ctx context.Context, opts Options, a, b Input) (Result, error) {
 		return Result{}, fmt.Errorf("%w: PQ inputs need a file or a tree", ErrNilRelation)
 	}
 	return run(ctx, o, "PQ", func(o Options, res *Result) error {
+		// The preparation phase is the external sorts of non-indexed
+		// inputs; indexed inputs cost nothing here because the sorted
+		// scanner extracts lazily, inside the sweep.
+		prepStart := time.Now()
 		sideA, err := pqSource(ctx, o, a, b)
 		if err != nil {
 			return err
@@ -45,11 +50,14 @@ func PQ(ctx context.Context, opts Options, a, b Input) (Result, error) {
 			return err
 		}
 		defer sideB.release()
+		res.PartitionWall = time.Since(prepStart)
+		sweepStart := time.Now()
 		st, err := sweep.Join(ctx, sideA.src, sideB.src, o.newStructure(), o.newStructure(),
 			o.pairSink())
 		if err != nil {
 			return err
 		}
+		res.SweepWall = time.Since(sweepStart)
 		res.Pairs = st.Pairs
 		res.Sweep = st
 		res.SweepMaxBytes = st.MaxBytes

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
@@ -30,6 +31,7 @@ func SSSJ(ctx context.Context, opts Options, a, b *iosim.File) (Result, error) {
 		return Result{}, err
 	}
 	return run(ctx, o, "SSSJ", func(o Options, res *Result) error {
+		sortStart := time.Now()
 		sortedA, statsA, err := stream.Sort(o.Store, a, stream.Records, geom.ByLowerY, o.MemoryBytes)
 		if err != nil {
 			return err
@@ -44,12 +46,14 @@ func SSSJ(ctx context.Context, opts Options, a, b *iosim.File) (Result, error) {
 		}
 		defer sortedB.Release()
 		res.SortStats = []stream.SortStats{statsA, statsB}
+		res.PartitionWall = time.Since(sortStart)
 
 		// A window cannot reduce the sort passes (the paper's §6.3
 		// point: the sort path has no locality to exploit) but it does
 		// filter the sweep, so only window records meet the kernel.
 		srcA := windowed(ctx, stream.NewReader(sortedA, stream.Records), o.Window)
 		srcB := windowed(ctx, stream.NewReader(sortedB, stream.Records), o.Window)
+		sweepStart := time.Now()
 		st, err := sweep.Join(ctx, srcA, srcB,
 			o.newStructure(), o.newStructure(),
 			o.pairSink(),
@@ -57,6 +61,7 @@ func SSSJ(ctx context.Context, opts Options, a, b *iosim.File) (Result, error) {
 		if err != nil {
 			return err
 		}
+		res.SweepWall = time.Since(sweepStart)
 		res.Pairs = st.Pairs
 		res.Sweep = st
 		res.SweepMaxBytes = st.MaxBytes
@@ -153,6 +158,7 @@ func SSSJPartitioned(ctx context.Context, opts Options, a, b *iosim.File, slabs 
 			return files, nil
 		}
 
+		distStart := time.Now()
 		slabsA, err := distribute(a)
 		if err != nil {
 			return err
@@ -161,11 +167,13 @@ func SSSJPartitioned(ctx context.Context, opts Options, a, b *iosim.File, slabs 
 		if err != nil {
 			return err
 		}
+		res.PartitionWall = time.Since(distStart)
 
 		for s := 0; s < slabs; s++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			sortStart := time.Now()
 			sortedA, statsA, err := stream.Sort(o.Store, slabsA[s], stream.Records, geom.ByLowerY, o.MemoryBytes)
 			if err != nil {
 				return err
@@ -177,8 +185,10 @@ func SSSJPartitioned(ctx context.Context, opts Options, a, b *iosim.File, slabs 
 			}
 			slabsB[s].Release()
 			res.SortStats = append(res.SortStats, statsA, statsB)
+			res.PartitionWall += time.Since(sortStart)
 
 			cur := s
+			sweepStart := time.Now()
 			st, err := sweep.Join(ctx,
 				stream.NewReader(sortedA, stream.Records),
 				stream.NewReader(sortedB, stream.Records),
@@ -197,6 +207,7 @@ func SSSJPartitioned(ctx context.Context, opts Options, a, b *iosim.File, slabs 
 			if err != nil {
 				return err
 			}
+			res.SweepWall += time.Since(sweepStart)
 			sortedA.Release()
 			sortedB.Release()
 			res.Sweep.Pairs += st.Pairs

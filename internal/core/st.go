@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"slices"
+	"time"
 
 	"unijoin/internal/geom"
 	"unijoin/internal/iosim"
@@ -45,11 +46,15 @@ func ST(ctx context.Context, opts Options, ta, tb *rtree.Tree) (Result, error) {
 		}
 		j := &stJoin{ctx: ctx, o: o, ta: ta, tb: tb, pool: pool, res: res,
 			scratch: make([][2][]rtree.Entry, height+1)}
+		// The traversal is the whole algorithm — ST has no preparation
+		// phase, so the trace's partition time stays zero.
+		sweepStart := time.Now()
 		if ta.NumRecords() > 0 && tb.NumRecords() > 0 && ta.MBR().Intersects(tb.MBR()) {
 			if err := j.joinNodes(ta.Root(), tb.Root()); err != nil {
 				return err
 			}
 		}
+		res.SweepWall = time.Since(sweepStart)
 		res.PageRequests = pool.Misses()
 		res.LogicalRequests = pool.Requests()
 		return nil

@@ -7,8 +7,11 @@
 package httpapi
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 
 	"unijoin/client"
 )
@@ -77,6 +80,90 @@ func WriteError(w http.ResponseWriter, e *client.APIError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(e.Status)
 	json.NewEncoder(w).Encode(map[string]*client.APIError{"error": e})
+}
+
+// StatusRecorder captures the status code a handler sends so logging
+// and metrics middleware can report it. It forwards Flush so streaming
+// handlers keep working through the wrapper, and implements Unwrap so
+// http.NewResponseController flush/deadline calls reach the
+// underlying writer.
+type StatusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *StatusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *StatusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *StatusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.NewResponseController,
+// so controller flush and deadline calls pass through the wrapper.
+func (r *StatusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// Status returns the recorded status code (200 when the handler wrote
+// a body without an explicit WriteHeader, or wrote nothing at all).
+func (r *StatusRecorder) Status() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}
+
+// RequestIDHeader carries a query's correlation ID router → shard, so
+// one client request can be followed across the fleet's logs.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds IDs accepted from clients; anything longer is
+// replaced rather than amplified through the fleet's logs.
+const maxRequestIDLen = 64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// EnsureRequestID returns the request's X-Request-Id header, or a
+// fresh ID when the header is absent or abusive. The caller echoes it
+// on the response and logs it, so client, router, and shard all speak
+// of the same query by the same name.
+func EnsureRequestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" && len(id) <= maxRequestIDLen {
+		return id
+	}
+	return NewRequestID()
+}
+
+// PprofMux returns a mux serving the standard net/http/pprof
+// endpoints under /debug/pprof/ — the side listener both sjserved and
+// sjrouter expose with -pprof, kept off the query mux so profiling
+// never rides the public port.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // DecodeBody parses a JSON request body, returning an API error for

@@ -43,7 +43,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
-	s.metrics.joins.Add(1)
+	s.metrics.joins.Inc()
 	var req client.JoinRequest
 	if apiErr := httpapi.DecodeBody(w, r, &req); apiErr != nil {
 		httpapi.WriteError(w, apiErr)
@@ -73,6 +73,15 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// joins must see the pairs: kernel counting would count pairs
 	// this shard does not own.
 	lw := httpapi.NewLineWriter(w)
+	// writeLine accumulates the stream phase: wall time spent
+	// marshaling and flushing response lines (all writes happen on
+	// this goroutine — EmitBatch callbacks run synchronously).
+	var streamTime time.Duration
+	writeLine := func(v any) {
+		t0 := time.Now()
+		lw.WriteLine(v)
+		streamTime += time.Since(t0)
+	}
 	var ownsPair func(l, rr uint32) bool
 	if s.stripe != nil {
 		leftXLo, apiErr := s.xloTable(ctx, left)
@@ -115,7 +124,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 				pairs = append(pairs, [2]uint32{p.Left, p.Right})
 				if len(pairs) == s.batch {
 					s.metrics.pairsStreamed.Add(int64(len(pairs)))
-					lw.WriteLine(client.JoinLine{Pairs: pairs})
+					writeLine(client.JoinLine{Pairs: pairs})
 					pairs = pairs[:0]
 				}
 			}
@@ -129,13 +138,28 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(pairs) > 0 {
 		s.metrics.pairsStreamed.Add(int64(len(pairs)))
-		lw.WriteLine(client.JoinLine{Pairs: pairs})
+		writeLine(client.JoinLine{Pairs: pairs})
 	}
+	elapsed := time.Since(start)
 	count := res.Count()
 	if ownsPair != nil {
 		count = owned
 	}
-	lw.WriteLine(client.JoinLine{Summary: joinSummary(req, alg, left, right, count, start)})
+	phases := phaseSeconds{
+		partition: res.PartitionWall.Seconds(),
+		sweep:     res.SweepWall.Seconds(),
+		stream:    streamTime.Seconds(),
+	}
+	s.metrics.observeJoin(alg.String(), elapsed.Seconds(), phases)
+	sum := joinSummary(req, alg, left, right, count, elapsed)
+	if req.Trace {
+		sum.Trace = &client.PhaseTrace{
+			PartitionMillis: phases.partition * 1000,
+			SweepMillis:     phases.sweep * 1000,
+			StreamMillis:    phases.stream * 1000,
+		}
+	}
+	lw.WriteLine(client.JoinLine{Summary: sum})
 }
 
 // xloLookup maps record IDs to left edges for the ownership test.
@@ -207,7 +231,7 @@ func (s *Server) xloTable(ctx context.Context, rel *unijoin.Relation) (*xloLooku
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
-	s.metrics.windows.Add(1)
+	s.metrics.windows.Inc()
 	var req client.WindowRequest
 	if apiErr := httpapi.DecodeBody(w, r, &req); apiErr != nil {
 		httpapi.WriteError(w, apiErr)
@@ -287,7 +311,7 @@ func requestContext(r *http.Request, timeoutMillis int64) (context.Context, cont
 }
 
 // joinSummary assembles the terminal line of a join response.
-func joinSummary(req client.JoinRequest, alg unijoin.Algorithm, left, right *unijoin.Relation, pairs int64, start time.Time) *client.JoinSummary {
+func joinSummary(req client.JoinRequest, alg unijoin.Algorithm, left, right *unijoin.Relation, pairs int64, elapsed time.Duration) *client.JoinSummary {
 	return &client.JoinSummary{
 		Left:          req.Left,
 		Right:         req.Right,
@@ -295,7 +319,7 @@ func joinSummary(req client.JoinRequest, alg unijoin.Algorithm, left, right *uni
 		Pairs:         pairs,
 		LeftRecords:   left.Len(),
 		RightRecords:  right.Len(),
-		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMillis: float64(elapsed.Microseconds()) / 1000,
 	}
 }
 
@@ -324,14 +348,14 @@ func relationInfo(name string, rel *unijoin.Relation) client.RelationInfo {
 func (s *Server) finishError(lw *httpapi.LineWriter, err error, wrap func(*client.APIError) any) {
 	apiErr := errorFor(err)
 	if apiErr.Code == client.CodeCanceled {
-		s.metrics.canceled.Add(1)
+		s.metrics.canceled.Inc()
 	}
 	if !lw.Started() {
 		httpapi.WriteError(lw.ResponseWriter(), apiErr) // the middleware counts non-canceled statuses
 		return
 	}
 	if apiErr.Code != client.CodeCanceled {
-		s.metrics.errors.Add(1)
+		s.metrics.errors.Inc()
 	}
 	lw.WriteLine(wrap(apiErr))
 }

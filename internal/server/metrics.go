@@ -1,0 +1,100 @@
+package server
+
+import (
+	"unijoin/internal/obs"
+)
+
+// metrics is the server's instrumentation: every counter behind
+// GET /v1/stats plus the request/join histograms exposed on
+// GET /metrics. All handles come from one obs.Registry, so the stats
+// endpoint and the Prometheus exposition can never disagree.
+type metrics struct {
+	reg *obs.Registry
+
+	// requests is labeled by endpoint and status class, so a scrape
+	// can tell join 200s from join 504s without a cardinality
+	// explosion (status is the three-digit code as text).
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec // sj_request_seconds{endpoint}
+	inFlight *obs.Gauge
+
+	joins           *obs.Counter
+	windows         *obs.Counter
+	errors          *obs.Counter
+	canceled        *obs.Counter
+	pairsStreamed   *obs.Counter
+	recordsStreamed *obs.Counter
+
+	// joinLatency is per-algorithm end-to-end join time; phase splits
+	// it into the paper's phases (partition/sweep/stream) across all
+	// algorithms.
+	joinLatency *obs.HistogramVec
+	phase       *obs.HistogramVec
+
+	// joinEWMA is the per-algorithm smoothed latency (milliseconds)
+	// surfaced on /v1/stats — the steady-state estimate a planner or
+	// rebalancer reads without parsing histogram buckets.
+	joinEWMA *obs.EWMASet
+}
+
+// joinBuckets widens obs.DefBuckets upward: a cold PBSM join of two
+// large relations can run for minutes while an ST probe finishes in
+// microseconds, and both must land inside the histogram's range.
+var joinBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// newMetrics registers the server's metric families on reg (a nil reg
+// gets a fresh registry — the embedded-server case with no scrape
+// endpoint wired up).
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		reg: reg,
+		requests: reg.CounterVec("sj_requests_total",
+			"HTTP requests served, by endpoint and status code.",
+			"endpoint", "status"),
+		latency: reg.HistogramVec("sj_request_seconds",
+			"HTTP request wall time in seconds, by endpoint.",
+			nil, "endpoint"),
+		inFlight: reg.Gauge("sj_requests_in_flight",
+			"Requests currently being served."),
+		joins: reg.Counter("sj_joins_total",
+			"Join requests accepted (before validation)."),
+		windows: reg.Counter("sj_windows_total",
+			"Window requests accepted (before validation)."),
+		errors: reg.Counter("sj_errors_total",
+			"Failed requests, excluding cancellations."),
+		canceled: reg.Counter("sj_canceled_total",
+			"Requests canceled by timeout or client disconnect."),
+		pairsStreamed: reg.Counter("sj_pairs_streamed_total",
+			"Result pairs written to join response streams."),
+		recordsStreamed: reg.Counter("sj_records_streamed_total",
+			"Records written to window response streams."),
+		joinLatency: reg.HistogramVec("sj_join_seconds",
+			"Successful join execution time in seconds, by algorithm.",
+			joinBuckets, "algorithm"),
+		phase: reg.HistogramVec("sj_join_phase_seconds",
+			"Join phase wall time in seconds: partition (input preparation), sweep (join kernel), stream (response writing).",
+			joinBuckets, "phase"),
+		joinEWMA: obs.NewEWMASet(obs.DefaultAlpha),
+	}
+}
+
+// observeJoin records one successful join: the per-algorithm latency
+// histogram and EWMA, and the per-phase breakdown.
+func (m *metrics) observeJoin(algorithm string, elapsedSec float64, t phaseSeconds) {
+	m.joinLatency.With(algorithm).Observe(elapsedSec)
+	m.joinEWMA.Observe(algorithm, elapsedSec*1000)
+	m.phase.With("partition").Observe(t.partition)
+	m.phase.With("sweep").Observe(t.sweep)
+	m.phase.With("stream").Observe(t.stream)
+}
+
+// phaseSeconds carries one join's phase wall times, in seconds.
+type phaseSeconds struct {
+	partition, sweep, stream float64
+}

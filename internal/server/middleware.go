@@ -3,66 +3,53 @@ package server
 import (
 	"context"
 	"net/http"
+	"strconv"
 	"time"
+
+	"unijoin/internal/httpapi"
 )
 
-// statusRecorder captures the status code a handler sends so the
-// logging middleware can report it. It forwards Flush so streaming
-// handlers keep working through the wrapper.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	if r.status == 0 {
-		r.status = code
-	}
-	r.ResponseWriter.WriteHeader(code)
-}
-
-func (r *statusRecorder) Write(p []byte) (int, error) {
-	if r.status == 0 {
-		r.status = http.StatusOK
-	}
-	return r.ResponseWriter.Write(p)
-}
-
-// Flush implements http.Flusher when the underlying writer does.
-func (r *statusRecorder) Flush() {
-	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// instrument is the logging + metrics middleware: it counts the
-// request in and out and logs one line with the endpoint, status, and
-// wall time.
+// instrument is the logging + metrics middleware: it ensures a
+// request ID (honoring one sent by a router upstream), counts the
+// request into the per-endpoint/per-status counter and latency
+// histogram, and logs one line with the endpoint, status, wall time,
+// and request ID.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		s.metrics.requests.Add(1)
+		rid := httpapi.EnsureRequestID(r)
+		w.Header().Set(httpapi.RequestIDHeader, rid)
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
-		rec := &statusRecorder{ResponseWriter: w}
-		h(rec, r)
-		if rec.status == 0 {
-			rec.status = http.StatusOK
-		}
+		rec := &httpapi.StatusRecorder{ResponseWriter: w}
+		h(rec, r.WithContext(withRequestID(r.Context(), rid)))
+		status := rec.Status()
+		elapsed := time.Since(start)
+		s.metrics.requests.With(endpoint, strconv.Itoa(status)).Inc()
+		s.metrics.latency.With(endpoint).Observe(elapsed.Seconds())
 		// Cancellations (504) are tallied in metrics.canceled by the
 		// handler — load shedding, not failures — so the errors
 		// counter stays alertable.
-		if rec.status >= 400 && rec.status != http.StatusGatewayTimeout {
-			s.metrics.errors.Add(1)
+		if status >= 400 && status != http.StatusGatewayTimeout {
+			s.metrics.errors.Inc()
 		}
 		s.log.Info("request",
 			"endpoint", endpoint,
 			"method", r.Method,
 			"path", r.URL.Path,
-			"status", rec.status,
-			"elapsed", time.Since(start).Round(time.Microsecond).String(),
+			"status", status,
+			"elapsed", elapsed.Round(time.Microsecond).String(),
+			"request_id", rid,
 		)
 	})
+}
+
+// ridKey carries the request ID through the handler's context, so the
+// join path can stamp traces and future log lines with it.
+type ridKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
 }
 
 // withTimeout applies the server's per-request timeout ceiling to the

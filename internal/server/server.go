@@ -18,12 +18,12 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"unijoin"
 	"unijoin/client"
 	"unijoin/internal/httpapi"
+	"unijoin/internal/obs"
 	"unijoin/internal/shard"
 )
 
@@ -60,6 +60,10 @@ type Config struct {
 	// gets exactly the single-process result. The stripe is exposed
 	// on /v1/stats and /v1/relations for the router's fleet check.
 	Stripe *shard.Interval
+	// Registry receives the server's metric families (GET /metrics
+	// serves its rendering). Nil gets a private registry, so an
+	// embedded server still counts — it just isn't scraped.
+	Registry *obs.Registry
 }
 
 // Server is the HTTP query service. Create with New, expose with
@@ -82,19 +86,7 @@ type Server struct {
 	// fresh table.
 	xlo sync.Map
 
-	metrics metrics
-}
-
-// metrics is the per-request accounting behind GET /v1/stats.
-type metrics struct {
-	requests        atomic.Int64
-	inFlight        atomic.Int64
-	joins           atomic.Int64
-	windows         atomic.Int64
-	errors          atomic.Int64
-	canceled        atomic.Int64
-	pairsStreamed   atomic.Int64
-	recordsStreamed atomic.Int64
+	metrics *metrics
 }
 
 // New builds a Server over cfg.Catalog.
@@ -121,7 +113,11 @@ func New(cfg Config) *Server {
 		stripe:  cfg.Stripe,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
+		metrics: newMetrics(cfg.Registry),
 	}
+	// The exposition endpoint is deliberately uninstrumented: scrapes
+	// should not move the request counters they report.
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /v1/relations", s.instrument("relations", s.handleRelations))
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
@@ -150,17 +146,23 @@ func (s *Server) stripeDTO() *client.Stripe {
 
 // Stats snapshots the server's counters (the body of GET /v1/stats).
 func (s *Server) Stats() client.Stats {
+	// The status-labeled request counter increments when a request
+	// completes (its status is unknown before then), so accepted
+	// requests — the old entry-time semantics, which count the stats
+	// request reading this — are completed + in-flight.
+	inFlight := int64(s.metrics.inFlight.Value())
 	return client.Stats{
-		Stripe:          s.stripeDTO(),
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Relations:       s.cat.Len(),
-		Requests:        s.metrics.requests.Load(),
-		InFlight:        s.metrics.inFlight.Load(),
-		Joins:           s.metrics.joins.Load(),
-		Windows:         s.metrics.windows.Load(),
-		Errors:          s.metrics.errors.Load(),
-		Canceled:        s.metrics.canceled.Load(),
-		PairsStreamed:   s.metrics.pairsStreamed.Load(),
-		RecordsStreamed: s.metrics.recordsStreamed.Load(),
+		Stripe:                s.stripeDTO(),
+		UptimeSeconds:         time.Since(s.start).Seconds(),
+		Relations:             s.cat.Len(),
+		Requests:              s.metrics.requests.Total() + inFlight,
+		InFlight:              inFlight,
+		Joins:                 s.metrics.joins.Value(),
+		Windows:               s.metrics.windows.Value(),
+		Errors:                s.metrics.errors.Value(),
+		Canceled:              s.metrics.canceled.Value(),
+		PairsStreamed:         s.metrics.pairsStreamed.Value(),
+		RecordsStreamed:       s.metrics.recordsStreamed.Value(),
+		JoinLatencyEWMAMillis: s.metrics.joinEWMA.Snapshot(),
 	}
 }

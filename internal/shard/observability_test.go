@@ -1,0 +1,189 @@
+package shard_test
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"unijoin"
+	"unijoin/client"
+	"unijoin/internal/datagen"
+	"unijoin/internal/shard"
+)
+
+// obsFleet boots a 3-shard fleet over two uniform relations and
+// returns the front client and router.
+func obsFleet(t *testing.T) (*client.Client, *shard.Router) {
+	t.Helper()
+	rels := map[string][]unijoin.Record{
+		"a": datagen.Uniform(7, 1200, universe, 25),
+		"b": datagen.Uniform(8, 900, universe, 25),
+	}
+	plan, err := shard.PlanFromBoundaries(universe, []unijoin.Coord{333, 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return startFleet(t, plan, []string{"a", "b"}, rels, true)
+}
+
+// TestTraceAcrossFleet is the acceptance test for per-query phase
+// traces: a join with "trace": true through the full client → router
+// → shard path returns partition/sweep/stream wall times, and the
+// flag off returns no trace.
+func TestTraceAcrossFleet(t *testing.T) {
+	cl, _ := obsFleet(t)
+	ctx := context.Background()
+
+	sum, err := cl.Join(ctx, client.JoinRequest{
+		Left: "a", Right: "b", Algorithm: "SSSJ", Trace: true,
+	}, func(uint32, uint32) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trace == nil {
+		t.Fatal("summary.trace missing with trace: true through the router")
+	}
+	if sum.Trace.SweepMillis <= 0 {
+		t.Fatalf("fleet trace = %+v, want positive sweep time", sum.Trace)
+	}
+	if sum.Trace.PartitionMillis <= 0 {
+		t.Fatalf("fleet SSSJ trace = %+v, want positive partition time (external sorts)", sum.Trace)
+	}
+	// The router merges per phase by max across shards, so no phase
+	// can exceed the slowest shard's elapsed time.
+	if sum.Trace.SweepMillis > sum.ElapsedMillis+1 {
+		t.Fatalf("sweep %vms exceeds elapsed %vms", sum.Trace.SweepMillis, sum.ElapsedMillis)
+	}
+
+	sum, err = cl.JoinCount(ctx, client.JoinRequest{Left: "a", Right: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trace != nil {
+		t.Fatalf("summary.trace = %+v without the flag, want absent", sum.Trace)
+	}
+}
+
+// TestRouterShardStats verifies the router's extended /v1/stats: one
+// ShardStat per shard, scatter counters moving, and a smoothed
+// latency estimate once traffic has flowed.
+func TestRouterShardStats(t *testing.T) {
+	cl, router := obsFleet(t)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := cl.JoinCount(ctx, client.JoinRequest{Left: "a", Right: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 3 || len(stats.ShardStats) != 3 {
+		t.Fatalf("stats shards = %d, shard_stats = %d, want 3 and 3", stats.Shards, len(stats.ShardStats))
+	}
+	for i, ss := range stats.ShardStats {
+		if ss.Endpoint != router.Endpoints()[i] {
+			t.Fatalf("shard %d endpoint = %q, want %q", i, ss.Endpoint, router.Endpoints()[i])
+		}
+		if ss.Stripe == nil {
+			t.Fatalf("shard %d reports no stripe", i)
+		}
+		if ss.ScatterRequests == 0 {
+			t.Fatalf("shard %d scatter_requests = 0 after traffic", i)
+		}
+		if ss.Requests == 0 {
+			t.Fatalf("shard %d self-reported requests = 0", i)
+		}
+		if ss.LatencyEWMAMillis <= 0 {
+			t.Fatalf("shard %d latency EWMA = %v, want > 0", i, ss.LatencyEWMAMillis)
+		}
+		if ss.ScatterErrors != 0 {
+			t.Fatalf("shard %d scatter_errors = %d on a healthy fleet", i, ss.ScatterErrors)
+		}
+	}
+	if stats.JoinLatencyEWMAMillis["PQ"] <= 0 {
+		t.Fatalf("fleet per-algorithm EWMA = %+v, want PQ > 0", stats.JoinLatencyEWMAMillis)
+	}
+}
+
+// TestRouterMetricsEndpoint scrapes the router's /metrics and checks
+// the per-shard scatter families are present, well-formed, and
+// populated for every shard.
+func TestRouterMetricsEndpoint(t *testing.T) {
+	rels := map[string][]unijoin.Record{
+		"a": datagen.Uniform(7, 600, universe, 25),
+		"b": datagen.Uniform(8, 500, universe, 25),
+	}
+	plan, err := shard.PlanFromBoundaries(universe, []unijoin.Coord{500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, plan.Shards())
+	for i := range urls {
+		urls[i] = startShard(t, plan.Interval(i), []string{"a", "b"}, rels, true)
+	}
+	router, err := shard.NewRouter(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := shard.NewService(shard.ServiceConfig{Router: router, Logger: discard()})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	front := ts.URL
+	cl := client.New(front, nil)
+
+	if _, err := cl.JoinCount(context.Background(), client.JoinRequest{Left: "a", Right: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(front + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	var body strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		body.WriteString(line + "\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if got := len(strings.Fields(line)); got != 2 {
+			t.Fatalf("bad exposition line %q: %d fields", line, got)
+		}
+	}
+	for _, shardURL := range urls {
+		for _, fam := range []string{
+			`sj_shard_scatter_seconds_count{shard="` + shardURL + `"}`,
+			`sj_shard_latency_ewma_ms{shard="` + shardURL + `"}`,
+		} {
+			if !strings.Contains(body.String(), fam) {
+				t.Fatalf("router exposition missing %q:\n%s", fam, body.String())
+			}
+		}
+	}
+	if !strings.Contains(body.String(), `sj_requests_total{endpoint="join",status="200"} 1`) {
+		t.Fatalf("router exposition missing its own request counter:\n%s", body.String())
+	}
+
+	// The router echoes a caller's request ID, the same contract as a
+	// single sjserved (and it forwards the ID to every shard call).
+	req, _ := http.NewRequest(http.MethodGet, front+"/v1/stats", nil)
+	req.Header.Set("X-Request-Id", "ride2e")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); got != "ride2e" {
+		t.Fatalf("router echoed request id %q, want ride2e", got)
+	}
+}

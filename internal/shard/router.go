@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"unijoin/client"
 	"unijoin/internal/geom"
+	"unijoin/internal/obs"
 )
 
 // Router fans queries out to a fleet of sjserved shard endpoints and
@@ -24,6 +26,53 @@ import (
 type Router struct {
 	endpoints []string
 	clients   []*client.Client
+	obs       routerObs
+}
+
+// routerObs is the router's view of shard health, recorded around
+// every scatter call. The per-shard EWMA feeds both the
+// sj_shard_latency_ewma_ms gauge and the latency column of
+// /v1/stats's shard table — the signal a future rebalancer or
+// latency-aware planner would read.
+type routerObs struct {
+	reg      *obs.Registry
+	latency  *obs.HistogramVec // sj_shard_scatter_seconds{shard}
+	errors   *obs.CounterVec   // sj_shard_errors_total{shard}
+	inFlight *obs.GaugeVec     // sj_shard_in_flight{shard}
+	ewmaMS   *obs.GaugeVec     // sj_shard_latency_ewma_ms{shard}
+	ewma     *obs.EWMASet
+}
+
+func newRouterObs() routerObs {
+	reg := obs.NewRegistry()
+	return routerObs{
+		reg: reg,
+		latency: reg.HistogramVec("sj_shard_scatter_seconds",
+			"Scatter call wall time in seconds, by shard endpoint.",
+			nil, "shard"),
+		errors: reg.CounterVec("sj_shard_errors_total",
+			"Failed scatter calls, by shard endpoint.",
+			"shard"),
+		inFlight: reg.GaugeVec("sj_shard_in_flight",
+			"Scatter calls currently outstanding, by shard endpoint.",
+			"shard"),
+		ewmaMS: reg.GaugeVec("sj_shard_latency_ewma_ms",
+			"Smoothed scatter latency in milliseconds, by shard endpoint.",
+			"shard"),
+		ewma: obs.NewEWMASet(obs.DefaultAlpha),
+	}
+}
+
+// observe records one scatter call against a shard.
+func (o *routerObs) observe(endpoint string, elapsed time.Duration, err error) {
+	sec := elapsed.Seconds()
+	o.latency.With(endpoint).Observe(sec)
+	if err != nil {
+		o.errors.With(endpoint).Inc()
+		return
+	}
+	o.ewma.Observe(endpoint, sec*1000)
+	o.ewmaMS.With(endpoint).Set(o.ewma.Value(endpoint))
 }
 
 // NewRouter builds a router over the given shard base URLs (at least
@@ -33,12 +82,17 @@ func NewRouter(endpoints []string, httpClient *http.Client) (*Router, error) {
 	if len(endpoints) == 0 {
 		return nil, fmt.Errorf("shard: router needs at least one shard endpoint")
 	}
-	r := &Router{endpoints: append([]string(nil), endpoints...)}
+	r := &Router{endpoints: append([]string(nil), endpoints...), obs: newRouterObs()}
 	for _, ep := range r.endpoints {
 		r.clients = append(r.clients, client.New(ep, httpClient))
 	}
 	return r, nil
 }
+
+// Registry exposes the router's metric registry so the serving layer
+// (internal/shard.Service) can add its own request families and serve
+// one /metrics for the whole process.
+func (r *Router) Registry() *obs.Registry { return r.obs.reg }
 
 // Shards returns the number of downstream shard endpoints.
 func (r *Router) Shards() int { return len(r.clients) }
@@ -60,8 +114,14 @@ func (r *Router) scatter(ctx context.Context, fn func(ctx context.Context, i int
 		wg.Add(1)
 		go func(i int, cl *client.Client) {
 			defer wg.Done()
-			if err := fn(ctx, i, cl); err != nil {
-				errs[i] = fmt.Errorf("shard %d (%s): %w", i, r.endpoints[i], err)
+			ep := r.endpoints[i]
+			r.obs.inFlight.With(ep).Add(1)
+			start := time.Now()
+			err := fn(ctx, i, cl)
+			r.obs.inFlight.With(ep).Add(-1)
+			r.obs.observe(ep, time.Since(start), err)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d (%s): %w", i, ep, err)
 				cancel()
 			}
 		}(i, cl)
@@ -164,6 +224,12 @@ func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(
 		return nil, err
 	}
 	merged := *sums[0]
+	if merged.Trace != nil {
+		// Clone: the merge below mutates the trace, which must not
+		// alias the first shard's summary.
+		t := *merged.Trace
+		merged.Trace = &t
+	}
 	for _, s := range sums[1:] {
 		merged.Pairs += s.Pairs
 		merged.LeftRecords += s.LeftRecords
@@ -171,8 +237,26 @@ func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(
 		if s.ElapsedMillis > merged.ElapsedMillis {
 			merged.ElapsedMillis = s.ElapsedMillis
 		}
+		merged.Trace = mergeTraces(merged.Trace, s.Trace)
 	}
 	return &merged, nil
+}
+
+// mergeTraces combines per-shard phase traces the way ElapsedMillis
+// merges: per phase, the slowest shard. The shards run concurrently,
+// so the maximum — not the sum — is what the client actually waited.
+func mergeTraces(a, b *client.PhaseTrace) *client.PhaseTrace {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		t := *b
+		return &t
+	}
+	a.PartitionMillis = math.Max(a.PartitionMillis, b.PartitionMillis)
+	a.SweepMillis = math.Max(a.SweepMillis, b.SweepMillis)
+	a.StreamMillis = math.Max(a.StreamMillis, b.StreamMillis)
+	return a
 }
 
 // Window scatters the window query and merges the record streams,
@@ -277,7 +361,7 @@ func (r *Router) Stats(ctx context.Context) (*client.Stats, error) {
 		return nil, err
 	}
 	agg := client.Stats{Shards: len(stats), UptimeSeconds: math.Inf(1)}
-	for _, s := range stats {
+	for i, s := range stats {
 		if s.UptimeSeconds < agg.UptimeSeconds {
 			agg.UptimeSeconds = s.UptimeSeconds
 		}
@@ -292,6 +376,25 @@ func (r *Router) Stats(ctx context.Context) (*client.Stats, error) {
 		agg.Canceled += s.Canceled
 		agg.PairsStreamed += s.PairsStreamed
 		agg.RecordsStreamed += s.RecordsStreamed
+		// Per-algorithm EWMAs merge by max — the fleet's join latency
+		// is its slowest shard's, as in the summary merge.
+		for alg, v := range s.JoinLatencyEWMAMillis {
+			if agg.JoinLatencyEWMAMillis == nil {
+				agg.JoinLatencyEWMAMillis = make(map[string]float64)
+			}
+			agg.JoinLatencyEWMAMillis[alg] = math.Max(agg.JoinLatencyEWMAMillis[alg], v)
+		}
+		ep := r.endpoints[i]
+		agg.ShardStats = append(agg.ShardStats, client.ShardStat{
+			Endpoint:          ep,
+			Stripe:            s.Stripe,
+			Requests:          s.Requests,
+			InFlight:          s.InFlight,
+			Errors:            s.Errors,
+			ScatterRequests:   r.obs.latency.With(ep).Count(),
+			ScatterErrors:     r.obs.errors.With(ep).Value(),
+			LatencyEWMAMillis: r.obs.ewma.Value(ep),
+		})
 	}
 	return &agg, nil
 }

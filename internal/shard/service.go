@@ -5,10 +5,12 @@ import (
 	"errors"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"unijoin/client"
 	"unijoin/internal/httpapi"
+	"unijoin/internal/obs"
 )
 
 // ServiceConfig configures a Service.
@@ -33,6 +35,13 @@ type Service struct {
 	timeout time.Duration
 	log     *slog.Logger
 	mux     *http.ServeMux
+
+	// requests/latency/inFlight live in the router's registry, so one
+	// /metrics serves both the service's request families and the
+	// router's per-shard scatter families.
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	inFlight *obs.Gauge
 }
 
 // NewService builds the HTTP layer over cfg.Router.
@@ -44,13 +53,25 @@ func NewService(cfg ServiceConfig) *Service {
 	if log == nil {
 		log = slog.Default()
 	}
-	s := &Service{router: cfg.Router, timeout: cfg.Timeout, log: log, mux: http.NewServeMux()}
-	s.mux.Handle("GET /v1/healthz", s.logged("healthz", s.handleHealthz))
-	s.mux.Handle("GET /v1/relations", s.logged("relations", s.handleRelations))
-	s.mux.Handle("GET /v1/stats", s.logged("stats", s.handleStats))
-	s.mux.Handle("POST /v1/join", s.logged("join", s.handleJoin))
-	s.mux.Handle("POST /v1/window", s.logged("window", s.handleWindow))
-	s.mux.Handle("/", s.logged("notfound", func(w http.ResponseWriter, r *http.Request) {
+	reg := cfg.Router.Registry()
+	s := &Service{
+		router: cfg.Router, timeout: cfg.Timeout, log: log, mux: http.NewServeMux(),
+		requests: reg.CounterVec("sj_requests_total",
+			"HTTP requests served, by endpoint and status code.",
+			"endpoint", "status"),
+		latency: reg.HistogramVec("sj_request_seconds",
+			"HTTP request wall time in seconds, by endpoint.",
+			nil, "endpoint"),
+		inFlight: reg.Gauge("sj_requests_in_flight",
+			"Requests currently being served."),
+	}
+	s.mux.Handle("GET /metrics", reg.Handler())
+	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /v1/relations", s.instrument("relations", s.handleRelations))
+	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("POST /v1/join", s.instrument("join", s.handleJoin))
+	s.mux.Handle("POST /v1/window", s.instrument("window", s.handleWindow))
+	s.mux.Handle("/", s.instrument("notfound", func(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, &client.APIError{
 			Status: http.StatusNotFound, Code: client.CodeNotFound,
 			Message: "no such endpoint: " + r.Method + " " + r.URL.Path,
@@ -62,16 +83,32 @@ func NewService(cfg ServiceConfig) *Service {
 // Handler returns the service's HTTP handler.
 func (s *Service) Handler() http.Handler { return s.mux }
 
-// logged is the per-request logging middleware.
-func (s *Service) logged(endpoint string, h http.HandlerFunc) http.Handler {
+// instrument is the logging + metrics middleware, mirroring
+// internal/server's: it ensures a request ID, propagates it to every
+// downstream shard call through the context (the client package sends
+// it as X-Request-Id), records the per-endpoint counters and latency,
+// and logs one line with the endpoint, status, wall time, and request
+// ID — so one grep follows a query through router and shards alike.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h(w, r)
+		rid := httpapi.EnsureRequestID(r)
+		w.Header().Set(httpapi.RequestIDHeader, rid)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		rec := &httpapi.StatusRecorder{ResponseWriter: w}
+		h(rec, r.WithContext(client.WithRequestID(r.Context(), rid)))
+		status := rec.Status()
+		elapsed := time.Since(start)
+		s.requests.With(endpoint, strconv.Itoa(status)).Inc()
+		s.latency.With(endpoint).Observe(elapsed.Seconds())
 		s.log.Info("request",
 			"endpoint", endpoint,
 			"method", r.Method,
 			"path", r.URL.Path,
-			"elapsed", time.Since(start).Round(time.Microsecond).String(),
+			"status", status,
+			"elapsed", elapsed.Round(time.Microsecond).String(),
+			"request_id", rid,
 		)
 	})
 }

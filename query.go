@@ -265,6 +265,8 @@ func (w *Workspace) runParallel(ctx context.Context, a, b *Relation, opts *JoinO
 		Sweep:         rep.Sweep,
 		SweepMaxBytes: rep.Sweep.MaxBytes,
 		HostCPU:       rep.Wall,
+		PartitionWall: rep.PartitionWall,
+		SweepWall:     rep.SweepWall,
 		IO:            w.store.Counters().Sub(before),
 		IODirect:      w.store.DirectCounters().Sub(beforeDirect),
 	}
