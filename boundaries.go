@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"unijoin/internal/geom"
+	"unijoin/internal/ingest"
 	"unijoin/internal/parallel"
 	"unijoin/internal/stream"
 )
@@ -11,58 +12,54 @@ import (
 // This file exports the stripe boundary computation the shard planner
 // (internal/shard) and the parallel engine share: quantiles of sampled
 // record x-centers, the same boundaries internal/parallel places. The
-// per-relation sample behind it is cached on the Relation — computed
-// once, reused by every subsequent parallel query and boundary request
-// on that relation — so a stable catalog pays the serial ≤4096-sample
-// sort once instead of per query. A reloaded catalog name is a new
-// Relation and starts with a cold cache.
+// sample behind it is cached on the relation's current version —
+// computed once, reused by every subsequent parallel query and
+// boundary request on that version. Appends carry the sample forward
+// by merging in the appended centers (parallel.MergeSamples), so an
+// ingesting relation's boundaries keep tracking the data without
+// rescanning; a compaction or reload drops the cache and the next
+// request resamples the full log.
 
-// sortedSampleFrom returns the relation's cached sorted x-center
-// sample, computing it from recs (the relation's records, already in
-// memory) on first use.
-func (r *Relation) sortedSampleFrom(recs []Record) []Coord {
-	r.sampleMu.Lock()
-	defer r.sampleMu.Unlock()
-	if !r.sampled {
-		r.sample = parallel.SortedCenterSample(recs)
-		r.sampled = true
-	}
-	return r.sample
+// sampleFor returns the pinned version's sorted x-center sample,
+// computing it from recs (the version's records, already in memory)
+// on first use.
+func sampleFor(v *ingest.Version, recs []Record) ([]Coord, error) {
+	return v.Sample(func() ([]geom.Coord, error) {
+		return parallel.SortedCenterSample(recs), nil
+	})
 }
 
-// centerSample returns the cached sample, reading the record stream
-// (charged to the workspace counters like any scan) when cold.
-func (r *Relation) centerSample() ([]Coord, error) {
-	r.sampleMu.Lock()
-	cached := r.sampled
-	sample := r.sample
-	r.sampleMu.Unlock()
-	if cached {
-		return sample, nil
-	}
-	recs, err := stream.ReadAll(r.file, stream.Records)
-	if err != nil {
-		return nil, err
-	}
-	return r.sortedSampleFrom(recs), nil
+// centerSample returns the pinned version's cached sample, reading
+// the record stream (charged to the workspace counters like any scan)
+// when cold.
+func centerSample(v *ingest.Version) ([]Coord, error) {
+	return v.Sample(func() ([]geom.Coord, error) {
+		recs, err := stream.ReadAll(v.File, stream.Records)
+		if err != nil {
+			return nil, err
+		}
+		return parallel.SortedCenterSample(recs), nil
+	})
 }
 
 // StripeBoundaries returns the k-1 internal boundaries that cut this
 // relation into k stripe shards balanced by record x-centers —
 // strictly increasing, possibly fewer than k-1 when the sampled
 // centers are too clustered to support k distinct stripes. The
-// underlying x-center sample is cached on the relation, so repeated
-// calls (and parallel queries on the same relation) skip the sample
-// scan and sort.
+// underlying x-center sample is cached on the relation's current
+// version and maintained across appends, so repeated calls (and
+// parallel queries on the same relation) skip the sample scan and
+// sort.
 func (r *Relation) StripeBoundaries(k int) ([]Coord, error) {
-	if r == nil || r.file == nil {
+	if r == nil || r.log == nil {
 		return nil, fmt.Errorf("%w: stripe boundaries", ErrNilRelation)
 	}
-	sample, err := r.centerSample()
+	v := r.snapshot()
+	sample, err := centerSample(v)
 	if err != nil {
 		return nil, err
 	}
-	u := r.ws.universeFor(r.mbr)
+	u := r.ws.universeFor(v.MBR)
 	return parallel.NewPartitionerFromSamples(u, k, sample).Boundaries(), nil
 }
 
@@ -71,9 +68,10 @@ func (r *Relation) StripeBoundaries(k int) ([]Coord, error) {
 // sampled x-centers — the planning step of sharded serving: every
 // shard then loads the slice of each relation overlapping its stripe
 // and answers joins between any of them. Each relation's sample is
-// cached (invalidated when the name is dropped and reloaded), so
-// planning over a stable catalog is a linear merge of pre-sorted
-// samples with no serial sort.
+// cached on its current version (maintained across appends,
+// invalidated by compaction or reload), so planning over a stable
+// catalog is a linear merge of pre-sorted samples with no serial
+// sort.
 func (c *Catalog) StripeBoundaries(k int, names ...string) ([]Coord, error) {
 	if len(names) == 0 {
 		names = c.Names()
@@ -88,12 +86,13 @@ func (c *Catalog) StripeBoundaries(k int, names ...string) ([]Coord, error) {
 		if !ok {
 			return nil, fmt.Errorf("unijoin: relation %q is not in the catalog", name)
 		}
-		sample, err := rel.centerSample()
+		v := rel.snapshot()
+		sample, err := centerSample(v)
 		if err != nil {
 			return nil, err
 		}
 		samples = append(samples, sample)
-		mbr = mbr.Union(rel.mbr)
+		mbr = mbr.Union(v.MBR)
 	}
 	u := c.ws.universeFor(mbr)
 	return parallel.NewPartitionerFromSamples(u, k, samples...).Boundaries(), nil

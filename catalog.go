@@ -74,7 +74,7 @@ func (c *Catalog) Load(name string, recs []Record, index bool) (*Relation, error
 		if ierr := r.BuildIndex(); ierr != nil {
 			// Unpublished relation: hand its record pages back to the
 			// shared disk so repeated failed loads don't grow it.
-			r.file.Release()
+			r.log.ReleaseInitial()
 			err = ierr
 		}
 	}

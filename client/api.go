@@ -3,13 +3,14 @@
 // (internal/server marshals exactly these structs, so the two sides
 // cannot drift).
 //
-// The service exposes five endpoints:
+// The service exposes six endpoints:
 //
-//	GET  /v1/healthz    liveness probe
-//	GET  /v1/relations  the in-memory relation catalog
-//	GET  /v1/stats      uptime and per-request counters
-//	POST /v1/join       spatial join of two cataloged relations
-//	POST /v1/window     window (range) query over one relation
+//	GET  /v1/healthz                        liveness probe
+//	GET  /v1/relations                      the in-memory relation catalog
+//	GET  /v1/stats                          uptime and per-request counters
+//	POST /v1/join                           spatial join of two cataloged relations
+//	POST /v1/window                         window (range) query over one relation
+//	POST /v1/relations/{relation}/records   append records to a relation
 //
 // Join and window responses stream as NDJSON (one JSON object per
 // line): zero or more batch lines carrying result pairs or records,
@@ -115,6 +116,47 @@ type RecordOut struct {
 	Rect Rect   `json:"rect"`
 }
 
+// RecordIn is one spatial record in an append request
+// (POST /v1/relations/{relation}/records). The same shape works as a
+// single JSON object, an element of a JSON array, or one NDJSON line
+// — the bulk wire format cmd/sjgen emits with -ndjson.
+type RecordIn struct {
+	ID   uint32 `json:"id"`
+	Rect Rect   `json:"rect"`
+}
+
+// AppendSummary is the response to an append: how many records this
+// process (or fleet) accepted and the relation's state afterwards.
+// Queries started after a successful append observe every appended
+// record; queries already running when it landed observe none of them
+// (each query pins the relation's epoch when it starts).
+type AppendSummary struct {
+	Relation string `json:"relation"`
+	// Appended counts the records accepted. A stripe shard accepts
+	// only records overlapping its stripe; a router reports the input
+	// records placed (each lands on every shard whose stripe it
+	// overlaps, mirroring how -stripe slices at load).
+	Appended int64 `json:"appended"`
+	// Records is the relation's total after the append (summed across
+	// shards by a router, counting boundary-crossing records once per
+	// holding shard, as GET /v1/relations does).
+	Records int64 `json:"records"`
+	// Epoch is the relation's version number after the append (the
+	// maximum across shards for a router); it increases with every
+	// append and compaction.
+	Epoch int64 `json:"epoch"`
+	// DeltaRecords is how many records sit in the relation's delta log
+	// past its packed base (summed across shards) — compaction resets
+	// it to zero.
+	DeltaRecords int64 `json:"delta_records"`
+	// Compacted reports whether this append tripped the relation's
+	// compaction threshold (on any shard, for a router).
+	Compacted bool `json:"compacted,omitempty"`
+	// Shards is set by a router: how many shards the append fanned out
+	// to.
+	Shards int `json:"shards,omitempty"`
+}
+
 // JoinLine is one NDJSON line of a join response: exactly one field
 // is set — Pairs on batch lines, Summary or Error on the final line.
 // Each pair is [leftID, rightID].
@@ -173,6 +215,15 @@ type Stats struct {
 	Canceled        int64 `json:"canceled"`
 	PairsStreamed   int64 `json:"pairs_streamed"`
 	RecordsStreamed int64 `json:"records_streamed"`
+	// Appends and RecordsIngested count append requests accepted and
+	// records written through them; Compactions counts delta-log folds.
+	Appends         int64 `json:"appends"`
+	RecordsIngested int64 `json:"records_ingested"`
+	Compactions     int64 `json:"compactions"`
+	// DeltaRecords is the live gauge of records sitting in delta logs
+	// past their relations' packed bases, summed over the catalog (and
+	// over shards by a router) — the distance to the next compaction.
+	DeltaRecords int64 `json:"delta_records"`
 	// Stripe is set when this process serves one stripe shard of its
 	// catalog (sjserved -stripe) — the shard metadata a router checks
 	// to verify a fleet tiles the x-axis.

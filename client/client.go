@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 )
 
@@ -186,6 +187,107 @@ func (c *Client) WindowBatches(ctx context.Context, req WindowRequest, onBatch f
 		return nil, fmt.Errorf("sjserved: window stream ended without a summary")
 	}
 	return summary, nil
+}
+
+// AppendRecords appends records to a cataloged relation and returns
+// the server's summary. The records become visible to every query
+// started after the call returns; queries already running keep their
+// pinned view. Against a router, each record is placed on every shard
+// whose stripe it overlaps, so the fleet keeps answering exactly like
+// a single process.
+func (c *Client) AppendRecords(ctx context.Context, relation string, recs []RecordIn) (*AppendSummary, error) {
+	payload, err := json.Marshal(recs)
+	if err != nil {
+		return nil, err
+	}
+	return c.postAppend(ctx, relation, "application/json", bytes.NewReader(payload))
+}
+
+// AppendNDJSON streams a bulk append body — one RecordIn JSON object
+// per line, the format cmd/sjgen emits with -ndjson — to the append
+// endpoint. The body is not buffered client-side, so arbitrarily
+// large loads stream straight through.
+func (c *Client) AppendNDJSON(ctx context.Context, relation string, body io.Reader) (*AppendSummary, error) {
+	return c.postAppend(ctx, relation, "application/x-ndjson", body)
+}
+
+// ParseRecords parses an append request body into records, selecting
+// the format by content type the way the server does: anything
+// mentioning "ndjson" is read one JSON record per line; otherwise the
+// body is plain JSON, either a single record object or an array of
+// them. Both sides of the wire (internal/server and the router's
+// serving layer) parse through this one function, so the accepted
+// formats cannot drift.
+func ParseRecords(contentType string, body io.Reader) ([]RecordIn, error) {
+	if strings.Contains(contentType, "ndjson") {
+		var recs []RecordIn
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var in RecordIn
+			if err := json.Unmarshal(line, &in); err != nil {
+				return nil, fmt.Errorf("bad record on line %d: %w", lineNo, err)
+			}
+			recs = append(recs, in)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("reading append body: %w", err)
+		}
+		return recs, nil
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("reading append body: %w", err)
+	}
+	data = bytes.TrimSpace(data)
+	switch {
+	case len(data) == 0 || bytes.Equal(data, []byte("null")):
+		return nil, nil
+	case data[0] == '[':
+		var recs []RecordIn
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, fmt.Errorf("bad record array: %w", err)
+		}
+		return recs, nil
+	default:
+		var in RecordIn
+		if err := json.Unmarshal(data, &in); err != nil {
+			return nil, fmt.Errorf("bad record object: %w", err)
+		}
+		return []RecordIn{in}, nil
+	}
+}
+
+// postAppend POSTs an append body and decodes the summary.
+func (c *Client) postAppend(ctx context.Context, relation, contentType string, body io.Reader) (*AppendSummary, error) {
+	path := "/v1/relations/" + url.PathEscape(relation) + "/records"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if id := RequestIDFrom(ctx); id != "" {
+		req.Header.Set(requestIDHeader, id)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out AppendSummary
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // getJSON performs a GET and decodes a plain JSON response.

@@ -7,18 +7,28 @@
 //
 //	sjgen -set NY -scale 0.01 -out /tmp/ny            # roads+hydro
 //	sjgen -uniform 100000 -region 0,0,1000,1000 -out /tmp/u
+//	sjgen -uniform 5000 -idbase 100000 -ndjson -out - | curl --data-binary @- \
+//	    -H 'Content-Type: application/x-ndjson' \
+//	    http://localhost:8470/v1/relations/roads/records
 //
 // Each invocation writes <out>.roads.bin and <out>.hydro.bin (or
 // <out>.bin for -uniform) plus a small <out>.meta text file describing
-// the universe, counts, and seed.
+// the universe, counts, and seed. With -ndjson the records are written
+// as <out>.ndjson files instead — one JSON object per line, the bulk
+// wire format of the serving layer's append endpoint — and "-out -"
+// streams a single set to stdout for piping straight into an ingest.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"unijoin"
+	"unijoin/client"
 	"unijoin/internal/datagen"
 	"unijoin/internal/geom"
 	"unijoin/internal/tiger"
@@ -33,8 +43,17 @@ func main() {
 		uniform = flag.Int("uniform", 0, "generate N uniform rectangles instead of a TIGER-like set")
 		region  = flag.String("region", "0,0,1000,1000", "universe for -uniform: xlo,ylo,xhi,yhi")
 		maxExt  = flag.Float64("maxext", 20, "max rectangle extent for -uniform")
+		ndjson  = flag.Bool("ndjson", false, "write NDJSON append bodies (the serving layer's bulk wire format) instead of binary records")
+		idBase  = flag.Int("idbase", 0, "first record ID (offset IDs when generating an append batch for a relation that already holds records)")
 	)
 	flag.Parse()
+
+	write := writeRecords
+	ext := ".bin"
+	if *ndjson {
+		write = writeNDJSON
+		ext = ".ndjson"
+	}
 
 	if *uniform > 0 {
 		r, err := unijoin.ParseRect(*region)
@@ -42,7 +61,14 @@ func main() {
 			fail(err)
 		}
 		recs := datagen.Uniform(*seed, *uniform, r, *maxExt)
-		if err := writeRecords(*out+".bin", recs); err != nil {
+		offsetIDs(recs, *idBase)
+		if *ndjson && *out == "-" {
+			if err := encodeNDJSON(os.Stdout, recs); err != nil {
+				fail(err)
+			}
+			return
+		}
+		if err := write(*out+ext, recs); err != nil {
 			fail(err)
 		}
 		if err := writeMeta(*out+".meta", fmt.Sprintf(
@@ -50,7 +76,7 @@ func main() {
 			len(recs), r, *seed, *maxExt)); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %d records to %s.bin\n", len(recs), *out)
+		fmt.Printf("wrote %d records to %s%s\n", len(recs), *out, ext)
 		return
 	}
 
@@ -60,10 +86,12 @@ func main() {
 	}
 	cfg := tiger.Config{Scale: *scale, Seed: *seed, Clusters: 40}
 	roads, hydro := cfg.Generate(spec)
-	if err := writeRecords(*out+".roads.bin", roads); err != nil {
+	offsetIDs(roads, *idBase)
+	offsetIDs(hydro, *idBase)
+	if err := write(*out+".roads"+ext, roads); err != nil {
 		fail(err)
 	}
-	if err := writeRecords(*out+".hydro.bin", hydro); err != nil {
+	if err := write(*out+".hydro"+ext, hydro); err != nil {
 		fail(err)
 	}
 	if err := writeMeta(*out+".meta", fmt.Sprintf(
@@ -71,8 +99,50 @@ func main() {
 		spec.Name, *scale, *seed, spec.Region, len(roads), len(hydro))); err != nil {
 		fail(err)
 	}
-	fmt.Printf("wrote %d roads and %d hydro records to %s.{roads,hydro}.bin\n",
-		len(roads), len(hydro), *out)
+	fmt.Printf("wrote %d roads and %d hydro records to %s.{roads,hydro}%s\n",
+		len(roads), len(hydro), *out, ext)
+}
+
+// offsetIDs shifts generated IDs by base so an append batch cannot
+// collide with a relation's existing dense 0..n-1 IDs.
+func offsetIDs(recs []geom.Record, base int) {
+	if base == 0 {
+		return
+	}
+	for i := range recs {
+		recs[i].ID += uint32(base)
+	}
+}
+
+// writeNDJSON writes records in the append endpoint's bulk wire
+// format: one client.RecordIn JSON object per line, ready to POST to
+// /v1/relations/{name}/records with an NDJSON content type.
+func writeNDJSON(path string, recs []geom.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := encodeNDJSON(f, recs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// encodeNDJSON streams records as NDJSON append lines.
+func encodeNDJSON(w io.Writer, recs []geom.Record) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, r := range recs {
+		in := client.RecordIn{ID: r.ID, Rect: client.Rect{
+			XLo: float64(r.Rect.XLo), YLo: float64(r.Rect.YLo),
+			XHi: float64(r.Rect.XHi), YHi: float64(r.Rect.YHi),
+		}}
+		if err := enc.Encode(in); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func writeRecords(path string, recs []geom.Record) error {

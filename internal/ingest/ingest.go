@@ -1,0 +1,359 @@
+// Package ingest makes relations mutable without making queries
+// unstable: each relation's records live in one append-only log on
+// the simulated disk, and every mutation publishes a new immutable
+// epoch-stamped Version — a pinned prefix view of the log
+// (iosim.File.Snapshot), the R-tree covering exactly those records,
+// the bounding rectangle, and the maintained x-center sample. Readers
+// load the current Version once, atomically, and keep a consistent
+// view no matter how many appends land while they stream; writers
+// serialize on the log's mutex and never modify anything a published
+// Version references (appends write bytes past every pinned size;
+// index growth is copy-on-write path insertion, rtree.WithInserted).
+//
+// The index follows the paper's lifecycle rather than fighting it: a
+// relation's tree is born packed (Hilbert bulk load, Section 3.3) and
+// degrades under Guttman insertion as the delta grows, which is
+// precisely the indexed-but-aging input the Section 6.3 cost model
+// arbitrates. A threshold-triggered compaction — delta at least
+// CompactMin records and CompactFrac of the base — rebuilds the
+// packed layout over the whole log and republishes, resetting the
+// delta accounting; the superseded pages stay allocated for the
+// benefit of still-pinned readers (the Catalog.Drop policy).
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+	"unijoin/internal/parallel"
+	"unijoin/internal/rtree"
+	"unijoin/internal/stream"
+)
+
+// DefaultCompactMin is the minimum delta size that triggers an
+// automatic compaction: below it a rebuild costs more than the
+// queries it would speed up.
+const DefaultCompactMin = 4096
+
+// DefaultCompactFrac is the delta-to-base ratio that triggers an
+// automatic compaction once the minimum is met; 0.25 gives the
+// LSM-style amortization where each record is rebuilt O(log n) times
+// over the life of the log.
+const DefaultCompactFrac = 0.25
+
+// Config configures a Log. Store and Universe are required.
+type Config struct {
+	// Store is the simulated disk the log and its index live on.
+	Store *iosim.Store
+	// Universe resolves the bulk-load universe for a given relation
+	// MBR (a Workspace's universeFor); compaction rebuilds use it.
+	Universe func(mbr geom.Rect) geom.Rect
+	// CompactMin is the minimum delta (records since the last packed
+	// build) before an append triggers compaction. 0 means
+	// DefaultCompactMin.
+	CompactMin int
+	// CompactFrac is the delta/base fraction that must also be
+	// reached. 0 means DefaultCompactFrac.
+	CompactFrac float64
+	// DisableAutoCompact turns the threshold trigger off; Compact can
+	// still be called explicitly. Tests use this to hold a delta open.
+	DisableAutoCompact bool
+}
+
+// Version is one immutable published state of a relation: everything
+// a query needs, pinned at an epoch. Versions are safe for concurrent
+// use and stay valid forever — later appends and compactions only
+// publish successors.
+type Version struct {
+	// Epoch increases by one per published mutation (append, index
+	// build, compaction). A query pins one Version at start and
+	// therefore observes exactly the appends with Epoch <= this one.
+	Epoch int64
+	// File is the record log pinned at this version's length: reads
+	// never observe later appends.
+	File *iosim.File
+	// Tree indexes exactly this version's records; nil when the
+	// relation is unindexed.
+	Tree *rtree.Tree
+	// N is the number of records this version sees.
+	N int64
+	// BaseN is how many of them are covered by the last packed bulk
+	// load; N - BaseN is the delta absorbed by Guttman insertion.
+	BaseN int64
+	// MBR bounds this version's records (invalid when N is 0).
+	MBR geom.Rect
+
+	// sampleMu guards the lazily-computed sorted x-center sample.
+	// Appends carry a warm sample forward by merge (MergeSamples), so
+	// a relation that has been sampled once stays sampled across
+	// appends without rescanning; compaction deliberately drops it so
+	// the next reader resamples the full log.
+	sampleMu sync.Mutex
+	sample   []geom.Coord
+	sampled  bool
+}
+
+// Delta returns the records appended since the last packed build.
+func (v *Version) Delta() int64 { return v.N - v.BaseN }
+
+// Sample returns the version's sorted x-center sample, calling
+// compute to produce it on first use. compute typically scans
+// v.File; it runs under the version's sample lock, so concurrent
+// callers compute at most once.
+func (v *Version) Sample(compute func() ([]geom.Coord, error)) ([]geom.Coord, error) {
+	v.sampleMu.Lock()
+	defer v.sampleMu.Unlock()
+	if !v.sampled {
+		s, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		v.sample = s
+		v.sampled = true
+	}
+	return v.sample, nil
+}
+
+// warmSample returns the sample and whether it has been computed,
+// without computing it.
+func (v *Version) warmSample() ([]geom.Coord, bool) {
+	v.sampleMu.Lock()
+	defer v.sampleMu.Unlock()
+	return v.sample, v.sampled
+}
+
+// AppendResult reports one Append.
+type AppendResult struct {
+	// Appended is the number of records accepted (all or none).
+	Appended int
+	// Epoch is the epoch queries must pin to observe them — the
+	// post-compaction epoch when the append triggered one.
+	Epoch int64
+	// Total is the relation's record count at that epoch.
+	Total int64
+	// Compacted reports whether the append triggered a compaction.
+	Compacted bool
+}
+
+// Log is the mutable state of one relation: the live append-only
+// record file plus the atomically-published current Version. All
+// mutations (Append, BuildIndex, Compact) serialize on one mutex;
+// Current is wait-free.
+type Log struct {
+	store       *iosim.Store
+	universe    func(geom.Rect) geom.Rect
+	compactMin  int64
+	compactFrac float64
+	autoCompact bool
+
+	cur atomic.Pointer[Version]
+
+	mu      sync.Mutex
+	file    *iosim.File // the live log; only mutated under mu
+	build   rtree.BuildOptions
+	indexed bool
+	failed  error // poisoned: a partial low-level append broke the log
+
+	compactions atomic.Int64
+}
+
+// New creates a log holding recs as its initial base segment
+// (epoch 0, unindexed; call BuildIndex for an index).
+func New(cfg Config, recs []geom.Record) (*Log, error) {
+	if cfg.Store == nil || cfg.Universe == nil {
+		return nil, fmt.Errorf("ingest: Config needs Store and Universe")
+	}
+	f, err := stream.WriteAll(cfg.Store, stream.Records, recs)
+	if err != nil {
+		return nil, err
+	}
+	mbr := geom.EmptyRect()
+	for _, r := range recs {
+		mbr = mbr.Union(r.Rect)
+	}
+	l := &Log{
+		store:       cfg.Store,
+		universe:    cfg.Universe,
+		compactMin:  int64(cfg.CompactMin),
+		compactFrac: cfg.CompactFrac,
+		autoCompact: !cfg.DisableAutoCompact,
+		file:        f,
+		build:       rtree.DefaultBuildOptions(),
+	}
+	if l.compactMin <= 0 {
+		l.compactMin = DefaultCompactMin
+	}
+	if l.compactFrac <= 0 {
+		l.compactFrac = DefaultCompactFrac
+	}
+	n := int64(len(recs))
+	l.cur.Store(&Version{Epoch: 0, File: f.Snapshot(), N: n, BaseN: n, MBR: mbr})
+	return l, nil
+}
+
+// Current returns the latest published version. Callers pin it once
+// per query and use only that version's File and Tree.
+func (l *Log) Current() *Version { return l.cur.Load() }
+
+// Epoch returns the current epoch.
+func (l *Log) Epoch() int64 { return l.cur.Load().Epoch }
+
+// Compactions returns how many compactions the log has run.
+func (l *Log) Compactions() int64 { return l.compactions.Load() }
+
+// ReleaseInitial hands the log's record pages back to the store.
+// Only valid when no version has been published to readers — the
+// Catalog.Load error path, undoing a failed load.
+func (l *Log) ReleaseInitial() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.file.Release()
+	l.failed = fmt.Errorf("ingest: log released")
+}
+
+// BuildIndex bulk-loads a packed R-tree over the current records and
+// publishes the indexed version. The options are retained for later
+// compaction rebuilds, so an ablation's packing policy survives
+// ingestion. Appends arriving after the build insert into the tree
+// incrementally.
+func (l *Log) BuildIndex(opts rtree.BuildOptions) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	old := l.cur.Load()
+	tree, err := rtree.Build(l.store, old.File, l.universe(old.MBR), opts)
+	if err != nil {
+		return err
+	}
+	l.build = opts
+	l.indexed = true
+	v := &Version{Epoch: old.Epoch + 1, File: old.File, Tree: tree, N: old.N, BaseN: old.N, MBR: old.MBR}
+	if s, ok := old.warmSample(); ok {
+		v.sample, v.sampled = s, true
+	}
+	l.cur.Store(v)
+	return nil
+}
+
+// Append adds recs to the relation and publishes the new version: the
+// log grows, the index (when present) absorbs the records by
+// copy-on-write insertion, the x-center sample absorbs their centers
+// by merge, and queries pinned to earlier versions remain untouched.
+// All records are accepted or none. When the delta crosses the
+// compaction threshold the packed layout is rebuilt before returning
+// (threshold-triggered compaction; see Config).
+func (l *Log) Append(recs []geom.Record) (AppendResult, error) {
+	for i, r := range recs {
+		if !r.Rect.Valid() {
+			return AppendResult{}, fmt.Errorf("ingest: record %d (id %d) has invalid rectangle %v", i, r.ID, r.Rect)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return AppendResult{}, l.failed
+	}
+	old := l.cur.Load()
+	if len(recs) == 0 {
+		return AppendResult{Epoch: old.Epoch, Total: old.N}, nil
+	}
+
+	// Grow the index first: a copy-on-write insertion failure leaves
+	// only orphan pages, while a failure after the file grew would
+	// leave unpublished bytes in the log.
+	tree := old.Tree
+	if tree != nil {
+		grown, err := tree.WithInserted(recs)
+		if err != nil {
+			return AppendResult{}, err
+		}
+		tree = grown
+	}
+
+	buf := make([]byte, len(recs)*geom.RecordSize)
+	for i, r := range recs {
+		geom.EncodeRecord(buf[i*geom.RecordSize:], r)
+	}
+	if err := l.file.Append(buf); err != nil {
+		// A partial append leaves the log with bytes no version owns;
+		// poison the log rather than publish a corrupt successor.
+		l.failed = fmt.Errorf("ingest: append failed, log poisoned: %w", err)
+		return AppendResult{}, l.failed
+	}
+
+	v := &Version{
+		Epoch: old.Epoch + 1,
+		File:  l.file.Snapshot(),
+		Tree:  tree,
+		N:     old.N + int64(len(recs)),
+		BaseN: old.BaseN,
+		MBR:   old.MBR,
+	}
+	for _, r := range recs {
+		v.MBR = v.MBR.Union(r.Rect)
+	}
+	// Carry a warm sample forward by merge so stripe planning keeps
+	// tracking the data without rescanning the log.
+	if s, ok := old.warmSample(); ok {
+		v.sample = parallel.MergeSamples(s, parallel.SortedCenterSample(recs))
+		v.sampled = true
+	}
+	l.cur.Store(v)
+
+	res := AppendResult{Appended: len(recs), Epoch: v.Epoch, Total: v.N}
+	if l.autoCompact && l.needsCompaction(v) {
+		if err := l.compactLocked(); err != nil {
+			return res, err
+		}
+		res.Compacted = true
+		res.Epoch = l.cur.Load().Epoch
+	}
+	return res, nil
+}
+
+// needsCompaction applies the threshold: a delta of at least
+// CompactMin records that is also at least CompactFrac of the base.
+func (l *Log) needsCompaction(v *Version) bool {
+	d := v.Delta()
+	return d >= l.compactMin && float64(d) >= l.compactFrac*float64(v.BaseN)
+}
+
+// Compact folds the delta into the base segment now, regardless of
+// thresholds: an indexed relation gets a fresh packed bulk load over
+// the whole log, an unindexed one just resets the delta accounting.
+// It reports whether there was a delta to fold.
+func (l *Log) Compact() (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return false, l.failed
+	}
+	if l.cur.Load().Delta() == 0 {
+		return false, nil
+	}
+	return true, l.compactLocked()
+}
+
+// compactLocked rebuilds under l.mu and publishes the compacted
+// version. The sample is dropped, not carried: merged samples drift
+// from the exact stride sample as deltas stack, and the rebuild is
+// the natural point to resample the full log.
+func (l *Log) compactLocked() error {
+	old := l.cur.Load()
+	v := &Version{Epoch: old.Epoch + 1, File: old.File, N: old.N, BaseN: old.N, MBR: old.MBR}
+	if l.indexed {
+		tree, err := rtree.Build(l.store, old.File, l.universe(old.MBR), l.build)
+		if err != nil {
+			return err
+		}
+		v.Tree = tree
+	}
+	l.cur.Store(v)
+	l.compactions.Add(1)
+	return nil
+}

@@ -136,6 +136,24 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 // reuse; truncation itself costs no I/O.
 func (f *File) Truncate() { f.size = 0 }
 
+// Snapshot returns a read-only prefix view of the file pinned at its
+// current size: reads through the snapshot never observe bytes
+// appended to the original afterwards. The snapshot shares pages with
+// the live file — it costs no I/O and no page copies — which is safe
+// because Append only ever writes bytes at offsets >= the live size,
+// and every snapshot's pinned size is <= that, so the byte ranges a
+// snapshot reads and the ranges later appends write are disjoint even
+// when they share a partially-filled page. Snapshots are the
+// consistency mechanism behind epoch-stamped relation versions
+// (internal/ingest): each published version carries one, and queries
+// pinned to it keep a stable view while the log grows. Do not call
+// Append, Truncate, or Release on a snapshot.
+func (f *File) Snapshot() *File {
+	exts := make([]extent, len(f.extents))
+	copy(exts, f.extents)
+	return &File{store: f.store, extents: exts, size: f.size}
+}
+
 // Release returns all of the file's extents to the store's allocator
 // and empties the file. Use it on temporary streams (sort runs,
 // partitions) once they have been fully consumed — the paper's scratch

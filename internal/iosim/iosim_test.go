@@ -555,3 +555,59 @@ func TestStringers(t *testing.T) {
 		t.Fatal("stringers must format")
 	}
 }
+
+func TestFileSnapshotPinsPrefix(t *testing.T) {
+	s := NewStore(DefaultPageSize)
+	f := NewFile(s)
+	chunk := func(b byte, n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = b
+		}
+		return out
+	}
+	// 100 bytes: well inside the first page, so later appends share
+	// the snapshot's last page — the disjoint-range case.
+	if err := f.Append(chunk('a', 100)); err != nil {
+		t.Fatal(err)
+	}
+	snap1 := f.Snapshot()
+	if snap1.Size() != 100 {
+		t.Fatalf("snapshot size %d, want 100", snap1.Size())
+	}
+	// Grow the live file past several extents.
+	if err := f.Append(chunk('b', 3*ExtentPages*DefaultPageSize)); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := f.Snapshot()
+
+	// snap1 still reads exactly its 100 'a's and reports EOF beyond.
+	buf := make([]byte, 200)
+	n, err := snap1.ReadAt(buf, 0)
+	if err != io.EOF || n != 100 {
+		t.Fatalf("snap1 read %d bytes, err %v; want 100, EOF", n, err)
+	}
+	for i := 0; i < 100; i++ {
+		if buf[i] != 'a' {
+			t.Fatalf("snap1 byte %d is %q, want 'a'", i, buf[i])
+		}
+	}
+	// snap2 sees the full prefix including the shared page boundary.
+	if snap2.Size() != f.Size() {
+		t.Fatalf("snap2 size %d, live %d", snap2.Size(), f.Size())
+	}
+	one := make([]byte, 1)
+	if _, err := snap2.ReadAt(one, 100); err != nil || one[0] != 'b' {
+		t.Fatalf("snap2 byte 100 = %q err %v, want 'b'", one[0], err)
+	}
+	// Appending after the snapshots never moves their view.
+	if err := f.Append(chunk('c', 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap1.ReadAt(one, 0); err != nil || one[0] != 'a' {
+		t.Fatalf("snap1 disturbed by later append: %q err %v", one[0], err)
+	}
+	if n, err := snap2.ReadAt(one, snap2.Size()); err != io.EOF || n != 0 {
+		t.Fatalf("snap2 reads past its pinned size: n=%d err=%v", n, err)
+	}
+}

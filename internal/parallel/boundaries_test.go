@@ -103,3 +103,33 @@ func TestJoinWithSortedSamplesMatches(t *testing.T) {
 		t.Fatalf("windowed pair set wrong: got %d pairs, want %d", len(windowed), len(want))
 	}
 }
+
+// TestMergeSamplesSortedAndBounded pins MergeSamples' two guarantees:
+// the result stays sorted, and repeated merging — a long append
+// stream — never grows the sample past its decimation bound.
+func TestMergeSamplesSortedAndBounded(t *testing.T) {
+	sample := SortedCenterSample(datagen.Uniform(41, 5000, universe, 30))
+	for round := 0; round < 20; round++ {
+		delta := SortedCenterSample(datagen.Uniform(int64(100+round), 3000, universe, 30))
+		sample = MergeSamples(sample, delta)
+		for i := 1; i < len(sample); i++ {
+			if sample[i-1] > sample[i] {
+				t.Fatalf("round %d: sample unsorted at %d: %g > %g", round, i, sample[i-1], sample[i])
+			}
+		}
+		if len(sample) > 2*sampleMax {
+			t.Fatalf("round %d: sample grew to %d, bound is %d", round, len(sample), 2*sampleMax)
+		}
+	}
+	// A merged sample still drives a partitioner to sane boundaries.
+	p := NewPartitionerFromSamples(universe, 8, sample)
+	bounds := p.Boundaries()
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] >= bounds[i] {
+			t.Fatalf("boundaries not strictly increasing: %v", bounds)
+		}
+	}
+	if math.IsNaN(float64(bounds[0])) {
+		t.Fatalf("NaN boundary: %v", bounds)
+	}
+}

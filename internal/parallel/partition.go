@@ -141,6 +141,27 @@ func SortedCenterSample(recs []geom.Record) []geom.Coord {
 	return sample
 }
 
+// MergeSamples merges two sorted x-center samples (each as produced
+// by SortedCenterSample or a previous MergeSamples) into one sorted
+// sample, decimating evenly when the merge exceeds the sample bound —
+// the incremental maintenance step behind live ingestion: a mutable
+// relation's cached sample absorbs each append's centers by linear
+// merge instead of re-sampling and re-sorting the whole relation, so
+// stripe boundaries keep tracking the data as it arrives. Decimation
+// keeps every 2nd element, preserving the even spread that makes
+// quantiles of the sample track quantiles of the population.
+func MergeSamples(a, b []geom.Coord) []geom.Coord {
+	merged := mergeSorted(a, b)
+	for len(merged) > 2*sampleMax {
+		half := merged[:0]
+		for i := 0; i < len(merged); i += 2 {
+			half = append(half, merged[i])
+		}
+		merged = half
+	}
+	return merged
+}
+
 // mergeSorted merges two sorted coordinate slices into a fresh sorted
 // slice in linear time.
 func mergeSorted(a, b []geom.Coord) []geom.Coord {

@@ -1,0 +1,290 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"unijoin/internal/geom"
+	"unijoin/internal/iosim"
+)
+
+// This file adds incremental insertion to the packed R-trees —
+// Guttman's original algorithm (ChooseLeaf by least enlargement,
+// quadratic split, AdjustTree propagation) over the same one-node-
+// per-page layout the bulk loader writes. Bulk loading stays the way
+// a tree is born (Section 3.3); insertion is how it absorbs a live
+// relation's appends without a full rebuild, which is exactly the
+// indexed-but-degrading input the cost model of Section 6.3 must
+// arbitrate. The packing discipline is deliberately not preserved:
+// inserted nodes drift toward Guttman's ~70% occupancy until a
+// compaction rebuilds the packed layout (internal/ingest).
+//
+// Two mutation modes share one implementation:
+//
+//   - Insert mutates the tree in place, rewriting the pages on the
+//     root-to-leaf path. Use it when no reader holds the tree.
+//   - WithInserted returns a new *Tree and leaves the receiver fully
+//     intact: every page the insertion would modify is first copied
+//     to a freshly allocated page (path copying), so readers pinned
+//     to the old tree keep a consistent view. Pages allocated during
+//     the batch itself — at or above a page-ID watermark taken at
+//     entry — are private to the new tree and are edited in place,
+//     bounding the copies to the distinct pages touched rather than
+//     inserts × height. The superseded pages are not released: a
+//     pinned reader may still be traversing them (the same
+//     keep-until-process-exit policy Catalog.Drop applies).
+
+// minFillFraction is Guttman's m: a split never leaves a node with
+// fewer than this fraction of the fanout. 40% keeps both halves
+// usable without forcing the near-half splits that inflate overlap.
+const minFillFraction = 0.4
+
+// Insert adds one data record to the tree in place, following
+// Guttman: choose the leaf whose MBR needs least enlargement, split
+// with the quadratic heuristic on overflow, and adjust ancestor MBRs
+// (splitting them in turn as needed; a root split grows the tree by
+// one level). The pages along the insertion path are rewritten where
+// they stand, so the tree must not be shared with concurrent readers
+// — use WithInserted for that.
+func (t *Tree) Insert(rec geom.Record) error {
+	return t.insertOne(rec, 0)
+}
+
+// WithInserted returns a new tree holding the receiver's records plus
+// recs, without modifying the receiver: unchanged subtrees are shared
+// page-for-page, changed paths are copied (see the file comment). The
+// receiver remains valid for concurrent queries throughout and after
+// the call; the returned tree is private to the caller until
+// published. The two trees answer queries identically to an in-place
+// Insert of the same records.
+func (t *Tree) WithInserted(recs []geom.Record) (*Tree, error) {
+	nt := *t
+	watermark := t.store.NumPages()
+	for _, rec := range recs {
+		if err := nt.insertOne(rec, iosim.PageID(watermark)); err != nil {
+			return nil, err
+		}
+	}
+	return &nt, nil
+}
+
+// pathStep is one node on the root-to-leaf insertion path.
+type pathStep struct {
+	page     iosim.PageID
+	node     Node
+	childIdx int // entry followed to the next step (unused at the leaf)
+}
+
+// insertOne runs one Guttman insertion. Pages with ID < watermark are
+// treated as shared and copied before modification; pages at or above
+// it are rewritten in place. Watermark 0 therefore means "everything
+// is mine" — the in-place mode.
+func (t *Tree) insertOne(rec geom.Record, watermark iosim.PageID) error {
+	if !rec.Rect.Valid() {
+		return fmt.Errorf("rtree: insert of invalid rectangle %v", rec.Rect)
+	}
+	pr := StoreReader{Store: t.store}
+
+	// ChooseLeaf: descend by least enlargement, remembering the path.
+	path := make([]pathStep, 0, t.height)
+	p := t.root
+	for {
+		step := pathStep{page: p}
+		if err := t.ReadNode(pr, p, &step.node); err != nil {
+			return err
+		}
+		if step.node.Leaf() {
+			path = append(path, step)
+			break
+		}
+		step.childIdx = chooseSubtree(step.node.Entries, rec.Rect)
+		path = append(path, step)
+		p = iosim.PageID(step.node.Entries[step.childIdx].Ref)
+	}
+
+	leaf := &path[len(path)-1].node
+	leaf.Entries = append(leaf.Entries, Entry{Rect: rec.Rect, Ref: rec.ID})
+	t.entries++
+	t.mbr = t.mbr.Union(rec.Rect)
+
+	// AdjustTree: walk back to the root, splitting overflowing nodes
+	// and rewriting each touched node (copying shared pages first).
+	// splitEntry carries a freshly split sibling up one level.
+	var splitEntry *Entry
+	for i := len(path) - 1; i >= 0; i-- {
+		step := &path[i]
+		n := &step.node
+		if splitEntry != nil {
+			n.Entries = append(n.Entries, *splitEntry)
+			splitEntry = nil
+		}
+		var sibling *Node
+		if len(n.Entries) > t.fanout {
+			sibling = splitQuadratic(n, t.fanout)
+		}
+		page, err := t.writeNode(step.page, n, watermark)
+		if err != nil {
+			return err
+		}
+		step.page = page
+		if sibling != nil {
+			sibPage := t.store.Alloc()
+			buf, err := t.store.WritablePage(sibPage)
+			if err != nil {
+				return err
+			}
+			if err := encodeNode(buf, sibling); err != nil {
+				return err
+			}
+			t.numNodes++
+			if sibling.Leaf() {
+				t.leaves++
+			}
+			splitEntry = &Entry{Rect: sibling.MBR(), Ref: uint32(sibPage)}
+		}
+		if i > 0 {
+			parent := &path[i-1]
+			parent.node.Entries[parent.childIdx] = Entry{Rect: n.MBR(), Ref: uint32(step.page)}
+		}
+	}
+
+	root := &path[0]
+	if splitEntry != nil {
+		// The root split: grow a new root over the two halves.
+		newRoot := Node{Level: uint8(t.height), Entries: []Entry{
+			{Rect: root.node.MBR(), Ref: uint32(root.page)},
+			*splitEntry,
+		}}
+		page := t.store.Alloc()
+		buf, err := t.store.WritablePage(page)
+		if err != nil {
+			return err
+		}
+		if err := encodeNode(buf, &newRoot); err != nil {
+			return err
+		}
+		t.root = page
+		t.height++
+		t.numNodes++
+		return nil
+	}
+	t.root = root.page
+	return nil
+}
+
+// writeNode encodes n onto its page, first relocating it to a fresh
+// page when the current one is below the copy-on-write watermark.
+// It returns the page the node now lives on.
+func (t *Tree) writeNode(page iosim.PageID, n *Node, watermark iosim.PageID) (iosim.PageID, error) {
+	if page < watermark {
+		page = t.store.Alloc()
+	}
+	buf, err := t.store.WritablePage(page)
+	if err != nil {
+		return iosim.InvalidPage, err
+	}
+	if err := encodeNode(buf, n); err != nil {
+		return iosim.InvalidPage, err
+	}
+	return page, nil
+}
+
+// chooseSubtree picks the entry needing least area enlargement to
+// cover r, breaking ties by smaller area (Guttman's ChooseLeaf
+// criterion), then by index for determinism.
+func chooseSubtree(entries []Entry, r geom.Rect) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, e := range entries {
+		enl := e.Rect.EnlargementArea(r)
+		area := e.Rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitQuadratic splits an overflowing node (fanout+1 entries) with
+// Guttman's quadratic heuristic: seed the two groups with the pair
+// wasting the most area if grouped together, then repeatedly assign
+// the entry with the strongest preference to the group that would
+// enlarge least, with a minimum-fill floor on both sides. The first
+// group replaces n's entries; the second is returned as a new node of
+// the same level.
+func splitQuadratic(n *Node, fanout int) *Node {
+	entries := n.Entries
+	minFill := int(minFillFraction * float64(fanout))
+	if minFill < 1 {
+		minFill = 1
+	}
+
+	// PickSeeds: the pair with the largest dead area when paired.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+
+	g1 := []Entry{entries[s1]}
+	g2 := []Entry{entries[s2]}
+	mbr1, mbr2 := entries[s1].Rect, entries[s2].Rect
+	rest := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+
+	for len(rest) > 0 {
+		// Min-fill floor: when one group plus everything left just
+		// reaches the floor, it takes everything left.
+		if len(g1)+len(rest) == minFill {
+			g1 = append(g1, rest...)
+			break
+		}
+		if len(g2)+len(rest) == minFill {
+			g2 = append(g2, rest...)
+			break
+		}
+		// PickNext: the entry with the greatest preference between
+		// the groups, measured by enlargement difference.
+		pick := 0
+		bestDiff := math.Inf(-1)
+		for i, e := range rest {
+			d1 := mbr1.EnlargementArea(e.Rect)
+			d2 := mbr2.EnlargementArea(e.Rect)
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				bestDiff, pick = diff, i
+			}
+		}
+		e := rest[pick]
+		rest[pick] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		d1 := mbr1.EnlargementArea(e.Rect)
+		d2 := mbr2.EnlargementArea(e.Rect)
+		// Resolve ties by smaller area, then fewer entries (Guttman).
+		toFirst := d1 < d2
+		if d1 == d2 {
+			a1, a2 := mbr1.Area(), mbr2.Area()
+			toFirst = a1 < a2 || (a1 == a2 && len(g1) <= len(g2))
+		}
+		if toFirst {
+			g1 = append(g1, e)
+			mbr1 = mbr1.Union(e.Rect)
+		} else {
+			g2 = append(g2, e)
+			mbr2 = mbr2.Union(e.Rect)
+		}
+	}
+
+	n.Entries = g1
+	return &Node{Level: n.Level, Entries: g2}
+}

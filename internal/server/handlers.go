@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
@@ -94,8 +95,33 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			httpapi.WriteError(w, apiErr)
 			return
 		}
+		// A lookup miss means the join pinned an epoch newer than the
+		// cached table (records appended between the table fetch and
+		// Run). Records are append-only, so rebuilding at the current
+		// epoch — a superset of every pinned version — resolves the ID
+		// exactly; the EmitBatch callbacks run on this goroutine, so
+		// swapping the table handle is race-free.
+		lookup := func(table **xloLookup, rel *unijoin.Relation, id uint32) (unijoin.Coord, bool) {
+			if x, ok := (*table).get(id); ok {
+				return x, true
+			}
+			fresh, apiErr := s.xloTable(ctx, rel)
+			if apiErr != nil {
+				return 0, false
+			}
+			*table = fresh
+			return fresh.get(id)
+		}
 		ownsPair = func(l, rr uint32) bool {
-			return s.stripe.OwnsPair(leftXLo.get(l), rightXLo.get(rr))
+			lx, ok := lookup(&leftXLo, left, l)
+			if !ok {
+				return false
+			}
+			rx, ok := lookup(&rightXLo, right, rr)
+			if !ok {
+				return false
+			}
+			return s.stripe.OwnsPair(lx, rx)
 		}
 	}
 
@@ -165,31 +191,46 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 // xloLookup maps record IDs to left edges for the ownership test.
 // Every built-in generator and sjgen assigns dense 0..n-1 IDs, so the
 // common representation is a slice indexed by ID — two orders cheaper
-// per lookup than map hashing in the per-pair hot loop. Sparse ID
-// spaces (arbitrary -load files) fall back to a map. Entries for IDs
-// absent from the relation are never consulted: ownership is only
-// tested for IDs the join itself emitted.
+// per lookup than map hashing in the per-pair hot loop; absent IDs
+// hold a NaN marker so a hole reads as a miss, not a zero edge.
+// Sparse ID spaces (arbitrary -load files) fall back to a map. The
+// table is stamped with the relation's epoch at build time: an append
+// or compaction bumps the epoch and so invalidates the cache entry,
+// which is how the table tracks a live-ingesting relation.
 type xloLookup struct {
+	epoch  int64
 	dense  []unijoin.Coord
 	sparse map[uint32]unijoin.Coord
 }
 
-func (l *xloLookup) get(id uint32) unijoin.Coord {
+func (l *xloLookup) get(id uint32) (unijoin.Coord, bool) {
 	if l.dense != nil {
-		return l.dense[id]
+		if int64(id) < int64(len(l.dense)) {
+			x := l.dense[id]
+			if x == x { // not the NaN hole marker
+				return x, true
+			}
+		}
+		return 0, false
 	}
-	return l.sparse[id]
+	x, ok := l.sparse[id]
+	return x, ok
 }
 
-// xloTable returns the relation's ID → left-edge lookup, built on
-// first use by scanning the relation (records are immutable once
-// loaded). Building a table also evicts cached tables whose relation
-// has been dropped or reloaded out of the catalog, so repeated
-// Drop+Load cycles on a long-lived embedded server cannot accumulate
-// orphaned tables.
+// xloTable returns the relation's ID → left-edge lookup for its
+// current epoch, rebuilding when the cached table is stale (the
+// relation was appended to or compacted) by scanning the relation.
+// The epoch stamp is read before the scan, so it never overstates
+// what the table contains. Building a table also evicts cached tables
+// whose relation has been dropped or reloaded out of the catalog, so
+// repeated Drop+Load cycles on a long-lived embedded server cannot
+// accumulate orphaned tables.
 func (s *Server) xloTable(ctx context.Context, rel *unijoin.Relation) (*xloLookup, *client.APIError) {
+	epoch := rel.Epoch()
 	if v, ok := s.xlo.Load(rel); ok {
-		return v.(*xloLookup), nil
+		if t := v.(*xloLookup); t.epoch == epoch {
+			return t, nil
+		}
 	}
 	s.xlo.Range(func(key, _ any) bool {
 		old := key.(*unijoin.Relation)
@@ -214,9 +255,13 @@ func (s *Server) xloTable(ctx context.Context, rel *unijoin.Relation) (*xloLooku
 			return nil, errorFor(err)
 		}
 	}
-	table := &xloLookup{}
+	table := &xloLookup{epoch: epoch}
 	if len(entries) > 0 && int64(maxID) < 2*int64(len(entries)) {
 		table.dense = make([]unijoin.Coord, maxID+1)
+		nan := unijoin.Coord(math.NaN())
+		for i := range table.dense {
+			table.dense[i] = nan
+		}
 		for _, e := range entries {
 			table.dense[e.id] = e.xlo
 		}

@@ -25,6 +25,15 @@ type metrics struct {
 	pairsStreamed   *obs.Counter
 	recordsStreamed *obs.Counter
 
+	// Ingestion families: appends accepted, records written per
+	// relation, append wall time, compactions triggered, and the
+	// per-relation delta-log depth (distance to the next compaction).
+	appends       *obs.Counter
+	ingestRecords *obs.CounterVec // sj_ingest_records_total{relation}
+	ingestLatency *obs.Histogram  // sj_ingest_seconds
+	compactions   *obs.Counter
+	deltaRecords  *obs.GaugeVec // sj_delta_records{relation}
+
 	// joinLatency is per-algorithm end-to-end join time; phase splits
 	// it into the paper's phases (partition/sweep/stream) across all
 	// algorithms.
@@ -74,6 +83,19 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Result pairs written to join response streams."),
 		recordsStreamed: reg.Counter("sj_records_streamed_total",
 			"Records written to window response streams."),
+		appends: reg.Counter("sj_appends_total",
+			"Append requests accepted (before validation)."),
+		ingestRecords: reg.CounterVec("sj_ingest_records_total",
+			"Records appended to relations, by relation.",
+			"relation"),
+		ingestLatency: reg.Histogram("sj_ingest_seconds",
+			"Append request execution time in seconds, including any compaction it triggers.",
+			nil),
+		compactions: reg.Counter("sj_compactions_total",
+			"Delta-log compactions triggered by appends or requested explicitly."),
+		deltaRecords: reg.GaugeVec("sj_delta_records",
+			"Records in a relation's delta log past its packed base, by relation.",
+			"relation"),
 		joinLatency: reg.HistogramVec("sj_join_seconds",
 			"Successful join execution time in seconds, by algorithm.",
 			joinBuckets, "algorithm"),
@@ -97,4 +119,16 @@ func (m *metrics) observeJoin(algorithm string, elapsedSec float64, t phaseSecon
 // phaseSeconds carries one join's phase wall times, in seconds.
 type phaseSeconds struct {
 	partition, sweep, stream float64
+}
+
+// observeIngest records one successful append against a relation:
+// records written, wall time, compactions, and the relation's
+// delta-log depth afterwards.
+func (m *metrics) observeIngest(relation string, appended int64, elapsedSec float64, compacted bool, delta int64) {
+	m.ingestRecords.With(relation).Add(appended)
+	m.ingestLatency.Observe(elapsedSec)
+	if compacted {
+		m.compactions.Inc()
+	}
+	m.deltaRecords.With(relation).Set(float64(delta))
 }

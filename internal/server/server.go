@@ -82,8 +82,9 @@ type Server struct {
 
 	// xlo caches each relation's ID → left-edge table, the lookup
 	// behind the per-pair shard ownership test (stripe mode only).
-	// Keyed by *unijoin.Relation, so a reloaded relation gets a
-	// fresh table.
+	// Keyed by *unijoin.Relation, so a reloaded relation gets a fresh
+	// table; each table is epoch-stamped, so an append or compaction
+	// invalidates it on the next fetch.
 	xlo sync.Map
 
 	metrics *metrics
@@ -123,6 +124,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.Handle("POST /v1/join", s.instrument("join", s.withTimeout(s.handleJoin)))
 	s.mux.Handle("POST /v1/window", s.instrument("window", s.withTimeout(s.handleWindow)))
+	s.mux.Handle("POST /v1/relations/{relation}/records", s.instrument("append", s.withTimeout(s.handleAppend)))
 	s.mux.Handle("/", s.instrument("notfound", func(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, &client.APIError{
 			Status: http.StatusNotFound, Code: client.CodeNotFound,
@@ -151,6 +153,14 @@ func (s *Server) Stats() client.Stats {
 	// requests — the old entry-time semantics, which count the stats
 	// request reading this — are completed + in-flight.
 	inFlight := int64(s.metrics.inFlight.Value())
+	// The delta gauge is recomputed from the catalog at read time, so
+	// it reflects compactions and reloads, not just the last append.
+	var delta int64
+	for _, name := range s.cat.Names() {
+		if rel, ok := s.cat.Get(name); ok {
+			delta += rel.DeltaRecords()
+		}
+	}
 	return client.Stats{
 		Stripe:                s.stripeDTO(),
 		UptimeSeconds:         time.Since(s.start).Seconds(),
@@ -163,6 +173,10 @@ func (s *Server) Stats() client.Stats {
 		Canceled:              s.metrics.canceled.Value(),
 		PairsStreamed:         s.metrics.pairsStreamed.Value(),
 		RecordsStreamed:       s.metrics.recordsStreamed.Value(),
+		Appends:               s.metrics.appends.Value(),
+		RecordsIngested:       s.metrics.ingestRecords.Total(),
+		Compactions:           s.metrics.compactions.Value(),
+		DeltaRecords:          delta,
 		JoinLatencyEWMAMillis: s.metrics.joinEWMA.Snapshot(),
 	}
 }

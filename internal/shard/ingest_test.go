@@ -1,0 +1,323 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"unijoin"
+	"unijoin/client"
+	"unijoin/internal/datagen"
+	"unijoin/internal/shard"
+)
+
+// wireRecords converts records to the append request's wire form.
+func wireRecords(recs []unijoin.Record) []client.RecordIn {
+	out := make([]client.RecordIn, len(recs))
+	for i, r := range recs {
+		out[i] = client.RecordIn{ID: r.ID, Rect: client.Rect{
+			XLo: float64(r.Rect.XLo), YLo: float64(r.Rect.YLo),
+			XHi: float64(r.Rect.XHi), YHi: float64(r.Rect.YHi),
+		}}
+	}
+	return out
+}
+
+// wireNDJSON renders records as the bulk append format, one JSON
+// object per line.
+func wireNDJSON(recs []unijoin.Record) string {
+	var b strings.Builder
+	for _, r := range wireRecords(recs) {
+		fmt.Fprintf(&b, "{\"id\":%d,\"rect\":{\"xlo\":%g,\"ylo\":%g,\"xhi\":%g,\"yhi\":%g}}\n",
+			r.ID, r.Rect.XLo, r.Rect.YLo, r.Rect.XHi, r.Rect.YHi)
+	}
+	return b.String()
+}
+
+// ingestDelta builds an append batch: uniform records plus, when
+// bounds are given, records sitting exactly on the fleet's stripe
+// boundaries — zero-width on the boundary and crossing it — the
+// adversarial cases of the write fan-out's Loads rule.
+func ingestDelta(seed int64, n, idBase int, bounds []unijoin.Coord) []unijoin.Record {
+	recs := datagen.Uniform(seed, n, universe, 25)
+	for i := range recs {
+		recs[i].ID = uint32(idBase + i)
+	}
+	id := uint32(idBase + n)
+	for _, bd := range bounds {
+		recs = append(recs,
+			unijoin.Record{Rect: unijoin.NewRect(bd, 50, bd, 950), ID: id},
+			unijoin.Record{Rect: unijoin.NewRect(bd-4, 100, bd+4, 600), ID: id + 1},
+		)
+		id += 2
+	}
+	return recs
+}
+
+// TestRouterAppendEqualsSingleProcess is the live-ingestion sharding
+// property: appending through the router — which fans each record to
+// every shard whose stripe it overlaps — leaves the fleet answering
+// joins and window queries exactly like a single process holding the
+// grown relations, for every algorithm and shard count, with
+// boundary-sitting appends included.
+func TestRouterAppendEqualsSingleProcess(t *testing.T) {
+	fixedBounds := []unijoin.Coord{140, 320, 500, 680, 810, 930}
+	baseA := datagen.Uniform(61, 1200, universe, 25)
+	baseB := datagen.Uniform(62, 900, universe, 25)
+	rels := map[string][]unijoin.Record{"a": baseA, "b": baseB}
+	names := []string{"a", "b"}
+	wantBase := brute(baseA, baseB, nil)
+
+	for _, k := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("shards-%d", k), func(t *testing.T) {
+			bounds := fixedBounds[:k-1]
+			plan, err := shard.PlanFromBoundaries(universe, bounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, _ := startFleet(t, plan, names, rels, true)
+			ctx := context.Background()
+
+			// Queries before the append see exactly the base state.
+			sum, err := cl.JoinCount(ctx, client.JoinRequest{Left: "a", Right: "b"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Pairs != int64(len(wantBase)) {
+				t.Fatalf("pre-append count %d, want %d", sum.Pairs, len(wantBase))
+			}
+
+			// Bulk NDJSON append to "a" through the router.
+			deltaA := ingestDelta(int64(63+k), 300, len(baseA), bounds)
+			asum, err := cl.AppendNDJSON(ctx, "a", strings.NewReader(wireNDJSON(deltaA)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if asum.Appended != int64(len(deltaA)) || asum.Shards != k {
+				t.Fatalf("append summary %+v, want appended=%d shards=%d", asum, len(deltaA), k)
+			}
+			grownA := append(append([]unijoin.Record(nil), baseA...), deltaA...)
+			wantAfter := brute(grownA, baseB, nil)
+
+			for _, alg := range allAlgorithms {
+				got := map[unijoin.Pair]bool{}
+				dups := 0
+				jsum, err := cl.Join(ctx, client.JoinRequest{Left: "a", Right: "b", Algorithm: alg},
+					func(l, r uint32) {
+						p := unijoin.Pair{Left: l, Right: r}
+						if got[p] {
+							dups++
+						}
+						got[p] = true
+					})
+				if err != nil {
+					t.Fatalf("k=%d %s: %v", k, alg, err)
+				}
+				if dups != 0 {
+					t.Fatalf("k=%d %s: %d duplicate pairs after append", k, alg, dups)
+				}
+				if len(got) != len(wantAfter) || jsum.Pairs != int64(len(wantAfter)) {
+					t.Fatalf("k=%d %s: %d pairs (summary %d), want %d",
+						k, alg, len(got), jsum.Pairs, len(wantAfter))
+				}
+				for p := range got {
+					if !wantAfter[p] {
+						t.Fatalf("k=%d %s: spurious pair %v", k, alg, p)
+					}
+				}
+			}
+
+			// The appended records answer window queries too, without
+			// boundary-replica duplicates.
+			win := unijoin.NewRect(100, 100, 600, 600)
+			winDTO := client.Rect{XLo: 100, YLo: 100, XHi: 600, YHi: 600}
+			wantRecs := map[uint32]bool{}
+			for _, r := range grownA {
+				if r.Rect.Intersects(win) {
+					wantRecs[r.ID] = true
+				}
+			}
+			gotRecs := map[uint32]bool{}
+			recDups := 0
+			rsum, err := cl.Window(ctx, client.WindowRequest{Relation: "a", Window: &winDTO},
+				func(r client.RecordOut) {
+					if gotRecs[r.ID] {
+						recDups++
+					}
+					gotRecs[r.ID] = true
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recDups != 0 || len(gotRecs) != len(wantRecs) || rsum.Records != int64(len(wantRecs)) {
+				t.Fatalf("k=%d window: %d records, %d dups (summary %d), want %d",
+					k, len(gotRecs), recDups, rsum.Records, len(wantRecs))
+			}
+
+			// Grow the other side through the JSON-array path and
+			// re-check one algorithm end to end.
+			deltaB := ingestDelta(int64(73+k), 150, len(baseB), nil)
+			if _, err := cl.AppendRecords(ctx, "b", wireRecords(deltaB)); err != nil {
+				t.Fatal(err)
+			}
+			grownB := append(append([]unijoin.Record(nil), baseB...), deltaB...)
+			wantFinal := brute(grownA, grownB, nil)
+			fsum, err := cl.JoinCount(ctx, client.JoinRequest{Left: "a", Right: "b", Algorithm: "ST"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fsum.Pairs != int64(len(wantFinal)) {
+				t.Fatalf("k=%d final count %d, want %d", k, fsum.Pairs, len(wantFinal))
+			}
+
+			// The router's stats aggregate the fleet's ingest counters.
+			stats, err := cl.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.RecordsIngested == 0 || stats.Appends < int64(2*k) {
+				t.Fatalf("router stats %+v missing ingest counters", stats)
+			}
+		})
+	}
+}
+
+// TestRouterConcurrentAppendsAndQueries is the routed half of the
+// concurrency satellite. Serialized appends through the router are
+// checked for exact prefix visibility (every routed query between
+// appends returns precisely some append-prefix's pair set); then a
+// writer streams batches in while join and window queries stream out
+// concurrently, and every result must be sandwiched between the
+// reference sets of the last batch completed before the query and the
+// final state — each shard pins its own epoch, so the merged set is a
+// union of per-shard consistent prefixes, never a torn read within a
+// shard, never a duplicate, never a pair outside the final state.
+func TestRouterConcurrentAppendsAndQueries(t *testing.T) {
+	baseA := datagen.Uniform(81, 700, universe, 30)
+	baseB := datagen.Uniform(82, 500, universe, 30)
+	const batches = 4
+	const batchSize = 90
+	bounds := []unijoin.Coord{500}
+	plan, err := shard.PlanFromBoundaries(universe, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := startFleet(t, plan, []string{"a", "b"},
+		map[string][]unijoin.Record{"a": baseA, "b": baseB}, true)
+	ctx := context.Background()
+
+	deltas := make([][]unijoin.Record, batches)
+	refs := make([]map[unijoin.Pair]bool, batches+1)
+	prefix := append([]unijoin.Record(nil), baseA...)
+	for k := 0; k <= batches; k++ {
+		refs[k] = brute(prefix, baseB, nil)
+		if k < batches {
+			deltas[k] = ingestDelta(int64(90+k), batchSize, len(prefix), bounds)
+			prefix = append(prefix, deltas[k]...)
+		}
+	}
+	for k := 0; k < batches; k++ {
+		if len(refs[k+1]) <= len(refs[k]) {
+			t.Fatalf("reference counts not strictly increasing at %d; pick new seeds", k)
+		}
+	}
+
+	// Serialized: each append-then-query observes the exact prefix.
+	for k := 0; k < batches; k++ {
+		if _, err := cl.AppendRecords(ctx, "a", wireRecords(deltas[k])); err != nil {
+			t.Fatal(err)
+		}
+		got := map[unijoin.Pair]bool{}
+		if _, err := cl.Join(ctx, client.JoinRequest{Left: "a", Right: "b"},
+			func(l, r uint32) { got[unijoin.Pair{Left: l, Right: r}] = true }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(refs[k+1]) {
+			t.Fatalf("after batch %d: %d pairs, want %d", k, len(got), len(refs[k+1]))
+		}
+		for p := range got {
+			if !refs[k+1][p] {
+				t.Fatalf("after batch %d: spurious pair %v", k, p)
+			}
+		}
+	}
+
+	// Concurrent: rebuild a fresh fleet and race the writer against
+	// readers.
+	cl2, _ := startFleet(t, plan, []string{"a", "b"},
+		map[string][]unijoin.Record{"a": baseA, "b": baseB}, true)
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for k := 0; k < batches; k++ {
+			if _, err := cl2.AppendNDJSON(ctx, "a", strings.NewReader(wireNDJSON(deltas[k]))); err != nil {
+				errs <- err
+				return
+			}
+			completed.Store(int64(k + 1))
+		}
+	}()
+	for reader := 0; reader < 2; reader++ {
+		wg.Add(1)
+		go func(alg string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				before := completed.Load()
+				got := map[unijoin.Pair]bool{}
+				if _, err := cl2.Join(ctx, client.JoinRequest{Left: "a", Right: "b", Algorithm: alg},
+					func(l, r uint32) {
+						p := unijoin.Pair{Left: l, Right: r}
+						if got[p] {
+							errs <- fmt.Errorf("%s: duplicate pair %v", alg, p)
+						}
+						got[p] = true
+					}); err != nil {
+					errs <- err
+					return
+				}
+				// Sandwich: everything visible before the query stays
+				// visible, and nothing beyond the final state appears.
+				for p := range refs[before] {
+					if !got[p] {
+						errs <- fmt.Errorf("%s: pair %v from completed batch %d missing", alg, p, before)
+						return
+					}
+				}
+				for p := range got {
+					if !refs[batches][p] {
+						errs <- fmt.Errorf("%s: pair %v outside the final state", alg, p)
+						return
+					}
+				}
+			}
+		}([]string{"PQ", "ST"}[reader])
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Settled: the routed fleet converged on the full prefix.
+	fsum, err := cl2.JoinCount(ctx, client.JoinRequest{Left: "a", Right: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsum.Pairs != int64(len(refs[batches])) {
+		t.Fatalf("final routed count %d, want %d", fsum.Pairs, len(refs[batches]))
+	}
+}

@@ -27,6 +27,12 @@ type Router struct {
 	endpoints []string
 	clients   []*client.Client
 	obs       routerObs
+
+	// stripeMu guards stripeIvs, each shard's ownership interval,
+	// fetched from the fleet on the first append (a shard's -stripe is
+	// fixed for its lifetime, so one fetch serves every append).
+	stripeMu  sync.Mutex
+	stripeIvs []Interval
 }
 
 // routerObs is the router's view of shard health, recorded around
@@ -296,6 +302,98 @@ func (r *Router) Window(ctx context.Context, req client.WindowRequest, onBatch f
 	return &merged, nil
 }
 
+// stripes returns each shard's ownership interval in endpoint order,
+// fetching the fleet's stripe metadata once and caching it.
+func (r *Router) stripes(ctx context.Context) ([]Interval, error) {
+	r.stripeMu.Lock()
+	defer r.stripeMu.Unlock()
+	if r.stripeIvs != nil {
+		return r.stripeIvs, nil
+	}
+	stats := make([]client.Stats, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		s, err := cl.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		stats[i] = *s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ivs := make([]Interval, len(stats))
+	for i, s := range stats {
+		ivs[i] = FromStripe(s.Stripe)
+	}
+	r.stripeIvs = ivs
+	return ivs, nil
+}
+
+// Append fans an append out across the fleet: each record goes to
+// every shard whose stripe its rectangle overlaps — the same rule
+// sjserved -stripe uses to slice a relation at load, so the fleet's
+// state after the append is exactly what a fresh fleet loading the
+// grown relation would hold, and joins and window queries keep
+// returning the single-process answer. Every shard is posted (an
+// empty batch is a no-op that still reports the shard's totals), and
+// the merged summary sums Records and DeltaRecords across shards,
+// takes the maximum Epoch, and reports Appended as the number of
+// input records placed.
+func (r *Router) Append(ctx context.Context, relation string, recs []client.RecordIn) (*client.AppendSummary, error) {
+	ivs, err := r.stripes(ctx)
+	if err != nil {
+		return nil, err
+	}
+	batches := make([][]client.RecordIn, len(ivs))
+	for i := range batches {
+		batches[i] = make([]client.RecordIn, 0, len(recs)/len(ivs)+1)
+	}
+	for _, rec := range recs {
+		rect := geom.NewRect(
+			geom.Coord(rec.Rect.XLo), geom.Coord(rec.Rect.YLo),
+			geom.Coord(rec.Rect.XHi), geom.Coord(rec.Rect.YHi),
+		)
+		if !rect.Valid() {
+			return nil, &client.APIError{
+				Status: http.StatusBadRequest, Code: client.CodeBadRequest,
+				Message: fmt.Sprintf("record %d has an invalid rectangle", rec.ID),
+			}
+		}
+		for i, iv := range ivs {
+			if iv.Loads(rect) {
+				batches[i] = append(batches[i], rec)
+			}
+		}
+	}
+	sums := make([]*client.AppendSummary, len(r.clients))
+	err = r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		s, err := cl.AppendRecords(ctx, relation, batches[i])
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := &client.AppendSummary{
+		Relation: relation,
+		Appended: int64(len(recs)),
+		Shards:   len(sums),
+	}
+	for _, s := range sums {
+		merged.Records += s.Records
+		merged.DeltaRecords += s.DeltaRecords
+		if s.Epoch > merged.Epoch {
+			merged.Epoch = s.Epoch
+		}
+		merged.Compacted = merged.Compacted || s.Compacted
+	}
+	return merged, nil
+}
+
 // Relations merges the shards' catalogs by name: record and byte
 // counts sum across shards (replicated boundary records count once
 // per holding shard), Indexed requires every shard's slice indexed,
@@ -376,6 +474,10 @@ func (r *Router) Stats(ctx context.Context) (*client.Stats, error) {
 		agg.Canceled += s.Canceled
 		agg.PairsStreamed += s.PairsStreamed
 		agg.RecordsStreamed += s.RecordsStreamed
+		agg.Appends += s.Appends
+		agg.RecordsIngested += s.RecordsIngested
+		agg.Compactions += s.Compactions
+		agg.DeltaRecords += s.DeltaRecords
 		// Per-algorithm EWMAs merge by max — the fleet's join latency
 		// is its slowest shard's, as in the summary merge.
 		for alg, v := range s.JoinLatencyEWMAMillis {

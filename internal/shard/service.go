@@ -26,7 +26,7 @@ type ServiceConfig struct {
 }
 
 // Service is the HTTP front of a Router: it speaks exactly the
-// sjserved API — the same five endpoints, the same NDJSON streams,
+// sjserved API — the same six endpoints, the same NDJSON streams,
 // the same wire types — so clients cannot tell a router from a single
 // server, except that /v1/stats reports the fleet size. cmd/sjrouter
 // runs one under an http.Server.
@@ -71,6 +71,7 @@ func NewService(cfg ServiceConfig) *Service {
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.Handle("POST /v1/join", s.instrument("join", s.handleJoin))
 	s.mux.Handle("POST /v1/window", s.instrument("window", s.handleWindow))
+	s.mux.Handle("POST /v1/relations/{relation}/records", s.instrument("append", s.handleAppend))
 	s.mux.Handle("/", s.instrument("notfound", func(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, &client.APIError{
 			Status: http.StatusNotFound, Code: client.CodeNotFound,
@@ -191,6 +192,32 @@ func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lw.WriteLine(client.WindowLine{Summary: sum})
+}
+
+// maxAppendBodyBytes mirrors internal/server's append body cap.
+const maxAppendBodyBytes = 256 << 20
+
+// handleAppend serves the append endpoint with sjserved's exact wire
+// contract, fanning the records out by stripe ownership so the fleet
+// absorbs the write the way a single process would.
+func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
+	recs, err := client.ParseRecords(r.Header.Get("Content-Type"),
+		http.MaxBytesReader(w, r.Body, maxAppendBodyBytes))
+	if err != nil {
+		httpapi.WriteError(w, &client.APIError{
+			Status: http.StatusBadRequest, Code: client.CodeBadRequest,
+			Message: err.Error(),
+		})
+		return
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	sum, aerr := s.router.Append(ctx, r.PathValue("relation"), recs)
+	if aerr != nil {
+		httpapi.WriteError(w, apiErrorFor(aerr))
+		return
+	}
+	httpapi.WriteJSON(w, sum)
 }
 
 // requestContext narrows the request context by the service timeout

@@ -6,6 +6,7 @@ import (
 
 	"unijoin/internal/core"
 	"unijoin/internal/geom"
+	"unijoin/internal/ingest"
 	"unijoin/internal/parallel"
 	"unijoin/internal/stream"
 )
@@ -167,7 +168,12 @@ func (q *Query) Run(ctx context.Context) (*Results, error) {
 		opts.EmitBatch = func(batch []Pair) { res.pairs = append(res.pairs, batch...) }
 	}
 
-	jr, err := q.ws.dispatch(ctx, q.alg, q.a, q.b, &opts, res)
+	// Pin both relations' versions here, before any work: the join
+	// runs entirely against these two immutable snapshots, so records
+	// appended while it streams are never observed (they land in later
+	// epochs), and records appended before Run are all observed.
+	va, vb := q.a.snapshot(), q.b.snapshot()
+	jr, err := q.ws.dispatch(ctx, q.alg, va, vb, &opts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -175,34 +181,35 @@ func (q *Query) Run(ctx context.Context) (*Results, error) {
 	return res, nil
 }
 
-// dispatch runs one algorithm with fully-resolved options, filling
-// engine-specific extras (the parallel report) into res.
-func (w *Workspace) dispatch(ctx context.Context, alg Algorithm, a, b *Relation, opts *JoinOptions, res *Results) (JoinResult, error) {
-	o, err := w.coreOptions(a, b, opts)
+// dispatch runs one algorithm with fully-resolved options against two
+// pinned relation versions, filling engine-specific extras (the
+// parallel report) into res.
+func (w *Workspace) dispatch(ctx context.Context, alg Algorithm, a, b *ingest.Version, opts *JoinOptions, res *Results) (JoinResult, error) {
+	o, err := w.coreOptionsFor(a, b, opts)
 	if err != nil {
 		return JoinResult{}, err
 	}
 	switch alg {
 	case AlgSSSJ:
-		r, err := core.SSSJ(ctx, o, a.file, b.file)
+		r, err := core.SSSJ(ctx, o, a.File, b.File)
 		return JoinResult{Result: r}, err
 	case AlgPBSM:
-		r, err := core.PBSM(ctx, o, a.file, b.file)
+		r, err := core.PBSM(ctx, o, a.File, b.File)
 		return JoinResult{Result: r}, err
 	case AlgST:
-		if a.tree == nil || b.tree == nil {
+		if a.Tree == nil || b.Tree == nil {
 			return JoinResult{}, fmt.Errorf("%w: ST requires both relations indexed", ErrNeedsIndex)
 		}
-		r, err := core.ST(ctx, o, a.tree, b.tree)
+		r, err := core.ST(ctx, o, a.Tree, b.Tree)
 		return JoinResult{Result: r}, err
 	case AlgPQ:
-		r, err := core.PQ(ctx, o, a.input(), b.input())
+		r, err := core.PQ(ctx, o, versionInput(a), versionInput(b))
 		return JoinResult{Result: r}, err
 	case AlgBFRJ:
-		if a.tree == nil || b.tree == nil {
+		if a.Tree == nil || b.Tree == nil {
 			return JoinResult{}, fmt.Errorf("%w: BFRJ requires both relations indexed", ErrNeedsIndex)
 		}
-		r, err := core.BFRJ(ctx, o, a.tree, b.tree)
+		r, err := core.BFRJ(ctx, o, a.Tree, b.Tree)
 		return JoinResult{Result: r}, err
 	case AlgAuto:
 		m := Machine3
@@ -210,7 +217,7 @@ func (w *Workspace) dispatch(ctx context.Context, alg Algorithm, a, b *Relation,
 			m = opts.Machine
 		}
 		p := core.Planner{Machine: m}
-		d, r, err := p.Join(ctx, o, a.input(), b.input())
+		d, r, err := p.Join(ctx, o, versionInput(a), versionInput(b))
 		return JoinResult{Result: r, Decision: &d}, err
 	case AlgParallel:
 		rep, r, err := w.runParallel(ctx, a, b, opts)
@@ -224,11 +231,11 @@ func (w *Workspace) dispatch(ctx context.Context, alg Algorithm, a, b *Relation,
 	}
 }
 
-// runParallel loads both record streams from the workspace (the one
-// read pass is charged to the simulated-I/O counters like any other
-// scan) and runs the multicore in-memory engine.
-func (w *Workspace) runParallel(ctx context.Context, a, b *Relation, opts *JoinOptions) (*parallel.Report, core.Result, error) {
-	po := parallel.Options{Universe: w.universeFor(a.mbr.Union(b.mbr))}
+// runParallel loads both pinned record streams from the workspace
+// (the one read pass is charged to the simulated-I/O counters like
+// any other scan) and runs the multicore in-memory engine.
+func (w *Workspace) runParallel(ctx context.Context, a, b *ingest.Version, opts *JoinOptions) (*parallel.Report, core.Result, error) {
+	po := parallel.Options{Universe: w.universeFor(a.MBR.Union(b.MBR))}
 	po.Workers = opts.Parallelism
 	po.Partitions = opts.ParallelPartitions
 	po.UseForwardSweep = opts.UseForwardSweep
@@ -237,23 +244,29 @@ func (w *Workspace) runParallel(ctx context.Context, a, b *Relation, opts *JoinO
 	po.EmitBatch = opts.EmitBatch
 	before := w.store.Counters()
 	beforeDirect := w.store.DirectCounters()
-	recsA, err := stream.ReadAll(a.file, stream.Records)
+	recsA, err := stream.ReadAll(a.File, stream.Records)
 	if err != nil {
 		return nil, core.Result{}, err
 	}
-	recsB, err := stream.ReadAll(b.file, stream.Records)
+	recsB, err := stream.ReadAll(b.File, stream.Records)
 	if err != nil {
 		return nil, core.Result{}, err
 	}
 	if po.Window == nil {
-		// Reuse each relation's cached x-center sample so repeated
+		// Reuse each version's cached x-center sample so repeated
 		// queries on a stable catalog skip the serial quantile sample
 		// sort of the partitioning prefix. Windowed joins sample only
 		// the qualifying records, which the whole-relation cache
 		// cannot provide.
-		po.SortedSamples = [][]geom.Coord{
-			a.sortedSampleFrom(recsA), b.sortedSampleFrom(recsB),
+		sa, err := sampleFor(a, recsA)
+		if err != nil {
+			return nil, core.Result{}, err
 		}
+		sb, err := sampleFor(b, recsB)
+		if err != nil {
+			return nil, core.Result{}, err
+		}
+		po.SortedSamples = [][]geom.Coord{sa, sb}
 	}
 	rep, err := parallel.Join(ctx, recsA, recsB, po)
 	if err != nil {
@@ -273,12 +286,13 @@ func (w *Workspace) runParallel(ctx context.Context, a, b *Relation, opts *JoinO
 	return &rep, r, nil
 }
 
-// coreOptions maps the public JoinOptions onto the core layer's.
-func (w *Workspace) coreOptions(a, b *Relation, opts *JoinOptions) (core.Options, error) {
+// coreOptionsFor maps the public JoinOptions onto the core layer's,
+// for two pinned relation versions.
+func (w *Workspace) coreOptionsFor(a, b *ingest.Version, opts *JoinOptions) (core.Options, error) {
 	if a == nil || b == nil {
 		return core.Options{}, fmt.Errorf("%w: join needs two relations", ErrNilRelation)
 	}
-	u := w.universeFor(a.mbr.Union(b.mbr))
+	u := w.universeFor(a.MBR.Union(b.MBR))
 	o := core.Options{Store: w.store, Universe: u}
 	if opts != nil {
 		o.MemoryBytes = opts.MemoryBytes

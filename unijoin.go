@@ -109,13 +109,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 
 	"unijoin/internal/core"
 	"unijoin/internal/geom"
+	"unijoin/internal/ingest"
 	"unijoin/internal/iosim"
 	"unijoin/internal/rtree"
-	"unijoin/internal/stream"
 )
 
 // Geometry and record types, re-exported from the geometry layer.
@@ -299,26 +298,23 @@ func (w *Workspace) SetUniverse(u Rect) {
 // (counter snapshots, custom experiments).
 func (w *Workspace) Store() *iosim.Store { return w.store }
 
-// Relation is one spatial relation in a workspace: a record stream and
-// optionally a bulk-loaded R-tree over it.
+// Relation is one spatial relation in a workspace: an appendable
+// record log with epoch-stamped immutable versions, and optionally an
+// R-tree over it (bulk-loaded packed, grown incrementally by appends;
+// see internal/ingest). Every query pins one version when it starts —
+// Query.Run, WindowQuery, and StripeBoundaries each read the current
+// version once, atomically — so a query never observes records
+// appended after it began, no matter how long it streams.
 type Relation struct {
 	ws   *Workspace
 	name string
-	file *iosim.File
-	tree *rtree.Tree
-	mbr  Rect
-	n    int64
-
-	// sampleMu guards sample, the lazily computed sorted x-center
-	// sample behind StripeBoundaries and the parallel engine's
-	// boundary reuse. A relation's records never change after
-	// AddRelation, so the sample is computed at most once per
-	// relation; reloading a catalog name creates a fresh Relation and
-	// with it a fresh cache.
-	sampleMu sync.Mutex
-	sample   []Coord
-	sampled  bool
+	log  *ingest.Log
 }
+
+// AppendResult reports one Relation.Append: how many records were
+// accepted, the epoch that makes them visible, the relation's new
+// record count, and whether the append triggered a compaction.
+type AppendResult = ingest.AppendResult
 
 // AddRelation writes records to the workspace as a new non-indexed
 // relation.
@@ -328,48 +324,92 @@ func (w *Workspace) AddRelation(recs []Record) (*Relation, error) {
 
 // AddNamedRelation is AddRelation with a label used in diagnostics.
 func (w *Workspace) AddNamedRelation(name string, recs []Record) (*Relation, error) {
-	f, err := stream.WriteAll(w.store, stream.Records, recs)
+	l, err := ingest.New(ingest.Config{Store: w.store, Universe: w.universeFor}, recs)
 	if err != nil {
 		return nil, err
 	}
-	mbr := geom.EmptyRect()
-	for _, r := range recs {
-		mbr = mbr.Union(r.Rect)
-	}
-	return &Relation{ws: w, name: name, file: f, mbr: mbr, n: int64(len(recs))}, nil
+	return &Relation{ws: w, name: name, log: l}, nil
 }
+
+// snapshot pins the relation's current version: the record prefix,
+// tree, MBR, and sample a single query uses throughout its run.
+func (r *Relation) snapshot() *ingest.Version { return r.log.Current() }
 
 // Name returns the relation's label.
 func (r *Relation) Name() string { return r.name }
 
 // Len returns the number of records.
-func (r *Relation) Len() int64 { return r.n }
+func (r *Relation) Len() int64 { return r.snapshot().N }
 
 // MBR returns the bounding rectangle of the relation (invalid for an
 // empty relation).
-func (r *Relation) MBR() Rect { return r.mbr }
+func (r *Relation) MBR() Rect { return r.snapshot().MBR }
 
 // Indexed reports whether BuildIndex has been called.
-func (r *Relation) Indexed() bool { return r.tree != nil }
+func (r *Relation) Indexed() bool { return r.snapshot().Tree != nil }
 
 // DataBytes returns the size of the record stream on disk.
-func (r *Relation) DataBytes() int64 { return r.file.Size() }
+func (r *Relation) DataBytes() int64 { return r.snapshot().File.Size() }
 
 // IndexBytes returns the on-disk size of the R-tree (0 if not built).
 func (r *Relation) IndexBytes() int64 {
-	if r.tree == nil {
-		return 0
+	if t := r.snapshot().Tree; t != nil {
+		return t.SizeBytes()
 	}
-	return r.tree.SizeBytes()
+	return 0
 }
 
 // IndexNodes returns the R-tree page count (0 if not built) — the
 // "lower bound" of Table 4.
 func (r *Relation) IndexNodes() int {
-	if r.tree == nil {
-		return 0
+	if t := r.snapshot().Tree; t != nil {
+		return t.NumNodes()
 	}
-	return r.tree.NumNodes()
+	return 0
+}
+
+// Epoch returns the relation's current epoch: it increases by one per
+// published mutation (append, index build, compaction), and a query
+// pinned at epoch e observes exactly the appends published at or
+// before e.
+func (r *Relation) Epoch() int64 { return r.log.Epoch() }
+
+// DeltaRecords returns how many records have been appended since the
+// last packed index build (0 right after load, BuildIndex, or
+// compaction) — the index-degradation measure the planner and the
+// serving stats expose.
+func (r *Relation) DeltaRecords() int64 { return r.snapshot().Delta() }
+
+// Compactions returns how many delta compactions the relation has
+// run (automatic and explicit).
+func (r *Relation) Compactions() int64 { return r.log.Compactions() }
+
+// Append adds records to the relation and publishes them atomically
+// as a new epoch: queries already running never observe them, queries
+// started after Append returns observe all of them. The record log
+// grows in place, an existing R-tree absorbs the records by
+// copy-on-write Guttman insertion (indexed algorithms see them
+// without a rebuild), and the cached x-center sample is maintained by
+// merge. All records are accepted or none. When the accumulated delta
+// crosses the compaction threshold, the packed index layout is
+// rebuilt before Append returns.
+func (r *Relation) Append(recs []Record) (AppendResult, error) {
+	if r == nil || r.log == nil {
+		return AppendResult{}, fmt.Errorf("%w: append", ErrNilRelation)
+	}
+	return r.log.Append(recs)
+}
+
+// Compact folds the appended delta into the base segment now: an
+// indexed relation gets a fresh packed bulk load over all records, an
+// unindexed one resets the delta accounting. It reports whether there
+// was a delta to fold. Queries pinned to earlier versions are
+// unaffected.
+func (r *Relation) Compact() (bool, error) {
+	if r == nil || r.log == nil {
+		return false, fmt.Errorf("%w: compact", ErrNilRelation)
+	}
+	return r.log.Compact()
 }
 
 // BuildIndex bulk-loads a packed R-tree over the relation with the
@@ -382,14 +422,10 @@ func (r *Relation) BuildIndex() error {
 }
 
 // BuildIndexOptions bulk-loads with explicit options (used by the
-// packing-policy ablation).
+// packing-policy ablation). The options also govern later compaction
+// rebuilds of this relation.
 func (r *Relation) BuildIndexOptions(opts rtree.BuildOptions) error {
-	t, err := rtree.Build(r.ws.store, r.file, r.ws.universeFor(r.mbr), opts)
-	if err != nil {
-		return err
-	}
-	r.tree = t
-	return nil
+	return r.log.BuildIndex(opts)
 }
 
 // universeFor resolves the workspace universe, defaulting to the
@@ -500,18 +536,24 @@ func (w *Workspace) MultiwayJoin(ctx context.Context, rels []*Relation, opts *Jo
 			return core.MultiwayResult{}, fmt.Errorf("%w: multiway join", ErrNilRelation)
 		}
 	}
-	o, err := w.coreOptions(rels[0], rels[1], opts)
+	// Pin every relation's version once, before any work: the k-way
+	// join then sees one consistent epoch per input for its whole run.
+	versions := make([]*ingest.Version, len(rels))
+	for i, r := range rels {
+		versions[i] = r.snapshot()
+	}
+	o, err := w.coreOptionsFor(versions[0], versions[1], opts)
 	if err != nil {
 		return core.MultiwayResult{}, err
 	}
 	mbr := geom.EmptyRect()
-	for _, r := range rels {
-		mbr = mbr.Union(r.mbr)
+	for _, v := range versions {
+		mbr = mbr.Union(v.MBR)
 	}
 	o.Universe = w.universeFor(mbr)
-	inputs := make([]core.Input, len(rels))
-	for i, r := range rels {
-		inputs[i] = r.input()
+	inputs := make([]core.Input, len(versions))
+	for i, v := range versions {
+		inputs[i] = versionInput(v)
 	}
 	return core.MultiwayPQ(ctx, o, inputs, emit)
 }
@@ -519,14 +561,20 @@ func (w *Workspace) MultiwayJoin(ctx context.Context, rels []*Relation, opts *Jo
 // Plan runs only the Section 6.3 cost model, without executing the
 // join; histogram construction polls ctx.
 func (w *Workspace) Plan(ctx context.Context, m Machine, a, b *Relation, opts *JoinOptions) (core.Decision, error) {
-	o, err := w.coreOptions(a, b, opts)
+	if a == nil || b == nil {
+		return core.Decision{}, fmt.Errorf("%w: plan needs two relations", ErrNilRelation)
+	}
+	va, vb := a.snapshot(), b.snapshot()
+	o, err := w.coreOptionsFor(va, vb, opts)
 	if err != nil {
 		return core.Decision{}, err
 	}
 	p := core.Planner{Machine: m}
-	return p.Plan(ctx, o, a.input(), b.input())
+	return p.Plan(ctx, o, versionInput(va), versionInput(vb))
 }
 
-func (r *Relation) input() core.Input {
-	return core.Input{File: r.file, Tree: r.tree}
+// versionInput adapts a pinned relation version to the core layer's
+// input shape.
+func versionInput(v *ingest.Version) core.Input {
+	return core.Input{File: v.File, Tree: v.Tree}
 }

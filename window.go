@@ -29,19 +29,22 @@ const windowPollEvery = 4096
 // order — but the two orders differ, so callers that need a canonical
 // order must sort.
 func (r *Relation) WindowQuery(ctx context.Context, win Rect, emit func(Record)) (int64, error) {
-	if r == nil || r.file == nil {
+	if r == nil || r.log == nil {
 		return 0, fmt.Errorf("%w: window query", ErrNilRelation)
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if !win.Valid() || !r.mbr.Valid() || !win.Intersects(r.mbr) {
+	// Pin the version once: the scan or traversal below runs wholly
+	// against it, so concurrent appends are invisible to this query.
+	v := r.snapshot()
+	if !win.Valid() || !v.MBR.Valid() || !win.Intersects(v.MBR) {
 		return 0, nil
 	}
-	if r.tree != nil {
-		return windowTree(ctx, r.tree, win, emit)
+	if v.Tree != nil {
+		return windowTree(ctx, v.Tree, win, emit)
 	}
-	return windowScan(ctx, r.file, win, emit)
+	return windowScan(ctx, v.File, win, emit)
 }
 
 // windowTree answers through the R-tree's cancellable traversal,
