@@ -1,4 +1,4 @@
-package unijoin
+package unijoin_test
 
 // Benchmarks regenerating each table and figure of the paper's
 // evaluation (see DESIGN.md's per-experiment index). Each benchmark
@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"unijoin"
 
 	"unijoin/internal/datagen"
 	"unijoin/internal/experiments"
@@ -188,7 +189,7 @@ func BenchmarkKernelSortedScan(b *testing.B) {
 // parallelism-4 is the headline scaling number (run with
 // `go test -bench=ParallelJoin -cpu N` to pin GOMAXPROCS).
 func BenchmarkParallelJoin(b *testing.B) {
-	u := NewRect(0, 0, 100_000, 100_000)
+	u := unijoin.NewRect(0, 0, 100_000, 100_000)
 	ra := datagen.Uniform(1, 100_000, u, 40)
 	rb := datagen.Uniform(2, 100_000, u, 40)
 	o := parallel.Options{Universe: u}
@@ -231,7 +232,7 @@ func BenchmarkParallelJoin(b *testing.B) {
 // the per-pair Emit callback, and the pooled EmitBatch fast path that
 // amortizes the callback indirection over whole partition buffers.
 func BenchmarkParallelJoinEmitModes(b *testing.B) {
-	u := NewRect(0, 0, 100_000, 100_000)
+	u := unijoin.NewRect(0, 0, 100_000, 100_000)
 	ra := datagen.Uniform(1, 100_000, u, 40)
 	rb := datagen.Uniform(2, 100_000, u, 40)
 	base := parallel.Options{Universe: u, Workers: 2}
@@ -247,7 +248,7 @@ func BenchmarkParallelJoinEmitModes(b *testing.B) {
 		b.ReportAllocs()
 		o := base
 		var n int64
-		o.Emit = func(Pair) { n++ }
+		o.Emit = func(unijoin.Pair) { n++ }
 		for i := 0; i < b.N; i++ {
 			if _, err := parallel.Join(context.Background(), ra, rb, o); err != nil {
 				b.Fatal(err)
@@ -258,7 +259,7 @@ func BenchmarkParallelJoinEmitModes(b *testing.B) {
 		b.ReportAllocs()
 		o := base
 		var n int64
-		o.EmitBatch = func(ps []Pair) { n += int64(len(ps)) }
+		o.EmitBatch = func(ps []unijoin.Pair) { n += int64(len(ps)) }
 		for i := 0; i < b.N; i++ {
 			if _, err := parallel.Join(context.Background(), ra, rb, o); err != nil {
 				b.Fatal(err)
@@ -271,7 +272,7 @@ func BenchmarkParallelJoinEmitModes(b *testing.B) {
 // TIGER-like clustered workload, where quantile stripe boundaries and
 // partition oversubscription carry the load balance.
 func BenchmarkParallelJoinClustered(b *testing.B) {
-	u := NewRect(0, 0, 100_000, 100_000)
+	u := unijoin.NewRect(0, 0, 100_000, 100_000)
 	terr := datagen.NewTerrain(1997, u, 40)
 	ra := datagen.Roads(terr, 1, 100_000, datagen.RoadParams{})
 	rb := datagen.Hydro(terr, 2, 60_000, datagen.HydroParams{})
@@ -305,7 +306,7 @@ func BenchmarkKernelRTreeBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ws := NewWorkspace()
+		ws := unijoin.NewWorkspace()
 		ws.SetUniverse(tiger.NY.Region)
 		rel, err := ws.AddRelation(roads)
 		if err != nil {

@@ -42,6 +42,12 @@ func RequestIDFrom(ctx context.Context) string {
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// PreferBinary routes Join/Window streaming through the binary
+	// frame transport (JoinFrames/WindowFrames), falling back to
+	// NDJSON automatically against servers that don't speak it. Set it
+	// before the client is shared between goroutines.
+	PreferBinary bool
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -101,13 +107,21 @@ func (c *Client) Join(ctx context.Context, req JoinRequest, onPair func(left, ri
 // line's pairs as one slice, valid only until it returns — the
 // amortized path a router merging several shard streams uses.
 func (c *Client) JoinBatches(ctx context.Context, req JoinRequest, onBatch func(pairs [][2]uint32)) (*JoinSummary, error) {
+	if c.PreferBinary {
+		return c.JoinFrames(ctx, req, onBatch)
+	}
 	body, err := c.postStream(ctx, "/v1/join", req)
 	if err != nil {
 		return nil, err
 	}
 	defer body.Close()
+	return joinLines(body, onBatch)
+}
+
+// joinLines consumes an NDJSON join stream body.
+func joinLines(body io.Reader, onBatch func(pairs [][2]uint32)) (*JoinSummary, error) {
 	var summary *JoinSummary
-	err = scanLines(body, func(data []byte) error {
+	err := scanLines(body, func(data []byte) error {
 		var line JoinLine
 		if err := json.Unmarshal(data, &line); err != nil {
 			return fmt.Errorf("sjserved: bad response line: %w", err)
@@ -157,13 +171,21 @@ func (c *Client) Window(ctx context.Context, req WindowRequest, onRecord func(Re
 // WindowBatches is Window with record delivery at the wire's batch
 // granularity, mirroring JoinBatches.
 func (c *Client) WindowBatches(ctx context.Context, req WindowRequest, onBatch func([]RecordOut)) (*WindowSummary, error) {
+	if c.PreferBinary {
+		return c.WindowFrames(ctx, req, onBatch)
+	}
 	body, err := c.postStream(ctx, "/v1/window", req)
 	if err != nil {
 		return nil, err
 	}
 	defer body.Close()
+	return windowLines(body, onBatch)
+}
+
+// windowLines consumes an NDJSON window stream body.
+func windowLines(body io.Reader, onBatch func([]RecordOut)) (*WindowSummary, error) {
 	var summary *WindowSummary
-	err = scanLines(body, func(data []byte) error {
+	err := scanLines(body, func(data []byte) error {
 		var line WindowLine
 		if err := json.Unmarshal(data, &line); err != nil {
 			return fmt.Errorf("sjserved: bad response line: %w", err)
@@ -313,6 +335,17 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 // postStream POSTs a JSON body and returns the NDJSON response body,
 // converting non-2xx responses to *APIError.
 func (c *Client) postStream(ctx context.Context, path string, in any) (io.ReadCloser, error) {
+	resp, err := c.postStreamAccept(ctx, path, in, "")
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// postStreamAccept is postStream with an optional Accept header,
+// returning the whole response so callers can inspect the negotiated
+// Content-Type.
+func (c *Client) postStreamAccept(ctx context.Context, path string, in any, accept string) (*http.Response, error) {
 	payload, err := json.Marshal(in)
 	if err != nil {
 		return nil, err
@@ -322,6 +355,9 @@ func (c *Client) postStream(ctx context.Context, path string, in any) (io.ReadCl
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	if id := RequestIDFrom(ctx); id != "" {
 		req.Header.Set(requestIDHeader, id)
 	}
@@ -333,7 +369,7 @@ func (c *Client) postStream(ctx context.Context, path string, in any) (io.ReadCl
 		defer resp.Body.Close()
 		return nil, decodeError(resp)
 	}
-	return resp.Body, nil
+	return resp, nil
 }
 
 // scanLines feeds each non-empty NDJSON line to fn.

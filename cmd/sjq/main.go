@@ -1,0 +1,192 @@
+// Command sjq issues join and window queries against a running
+// sjserved or sjrouter from the command line, over either stream
+// transport — the NDJSON default or the negotiated internal/wire
+// binary framing. It exists so shell-driven checks (CI smoke jobs,
+// operators poking a fleet) can exercise the binary path, which curl
+// cannot decode.
+//
+// Usage:
+//
+//	sjq [-addr url] [-transport ndjson|binary] [-timeout d] join \
+//	    -left L -right R [-alg A] [-window x1,y1,x2,y2] [-count] [-trace]
+//	sjq [global flags] window -relation R -window x1,y1,x2,y2 [-count]
+//	sjq [global flags] stats
+//
+// join and window consume the full result stream, counting streamed
+// pairs or records, and print one JSON object to stdout:
+//
+//	{"streamed": 12345, "summary": {...}}
+//
+// so jq-based assertions can compare counts across transports and
+// topologies. stats prints the GET /v1/stats body verbatim. Typed
+// service errors exit 1 with the error on stderr; a cancellation or
+// timeout exits 2.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unijoin"
+	"unijoin/client"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8470", "base URL of the sjserved or sjrouter to query")
+		transport = flag.String("transport", "ndjson", "stream encoding to request: ndjson or binary")
+		timeout   = flag.Duration("timeout", time.Minute, "abort the query after this long (0 = no limit)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sjq [flags] join|window|stats [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	cl := client.New(*addr, nil)
+	switch *transport {
+	case "ndjson":
+	case "binary":
+		cl.PreferBinary = true
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (want ndjson or binary)", *transport))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	switch cmd, args := flag.Arg(0), flag.Args()[1:]; cmd {
+	case "join":
+		runJoin(ctx, cl, args)
+	case "window":
+		runWindow(ctx, cl, args)
+	case "stats":
+		runStats(ctx, cl)
+	default:
+		fatal(fmt.Errorf("unknown command %q (want join, window, or stats)", cmd))
+	}
+}
+
+// parseWindow converts the -window flag into the API's rectangle.
+func parseWindow(s string) (*client.Rect, error) {
+	if s == "" {
+		return nil, nil
+	}
+	r, err := unijoin.ParseRect(s)
+	if err != nil {
+		return nil, err
+	}
+	return &client.Rect{
+		XLo: float64(r.XLo), YLo: float64(r.YLo),
+		XHi: float64(r.XHi), YHi: float64(r.YHi),
+	}, nil
+}
+
+func runJoin(ctx context.Context, cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	var (
+		left        = fs.String("left", "", "left relation (required)")
+		right       = fs.String("right", "", "right relation (required)")
+		alg         = fs.String("alg", "", "join algorithm (default: the server's)")
+		window      = fs.String("window", "", "restrict the join to this rectangle: x1,y1,x2,y2")
+		count       = fs.Bool("count", false, "count only; stream no pairs")
+		trace       = fs.Bool("trace", false, "include the per-phase breakdown in the summary")
+		parallelism = fs.Int("parallelism", 0, "worker count for the parallel algorithm")
+	)
+	fs.Parse(args)
+	if *left == "" || *right == "" {
+		fatal(errors.New("join: -left and -right are required"))
+	}
+	win, err := parseWindow(*window)
+	if err != nil {
+		fatal(err)
+	}
+	req := client.JoinRequest{
+		Left: *left, Right: *right, Algorithm: *alg, Window: win,
+		CountOnly: *count, Trace: *trace, Parallelism: *parallelism,
+	}
+	var streamed int64
+	sum, err := cl.Join(ctx, req, func(uint32, uint32) { streamed++ })
+	if err != nil {
+		fatal(err)
+	}
+	emit(streamed, sum)
+}
+
+func runWindow(ctx context.Context, cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("window", flag.ExitOnError)
+	var (
+		relation = fs.String("relation", "", "relation to query (required)")
+		window   = fs.String("window", "", "query rectangle: x1,y1,x2,y2 (required)")
+		count    = fs.Bool("count", false, "count only; stream no records")
+	)
+	fs.Parse(args)
+	if *relation == "" {
+		fatal(errors.New("window: -relation is required"))
+	}
+	win, err := parseWindow(*window)
+	if err != nil {
+		fatal(err)
+	}
+	if win == nil {
+		fatal(errors.New("window: -window is required"))
+	}
+	req := client.WindowRequest{Relation: *relation, Window: win, CountOnly: *count}
+	var streamed int64
+	sum, err := cl.Window(ctx, req, func(client.RecordOut) { streamed++ })
+	if err != nil {
+		fatal(err)
+	}
+	emit(streamed, sum)
+}
+
+func runStats(ctx context.Context, cl *client.Client) {
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(stats); err != nil {
+		fatal(err)
+	}
+}
+
+// emit prints the one-object result line: the streamed entry count
+// and the server's summary.
+func emit(streamed int64, summary any) {
+	out := struct {
+		Streamed int64 `json:"streamed"`
+		Summary  any   `json:"summary"`
+	}{streamed, summary}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// fatal distinguishes cancellation (exit 2) from real failures.
+func fatal(err error) {
+	if errors.Is(err, client.ErrCanceled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "sjq: interrupted: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "sjq: %v\n", err)
+	os.Exit(1)
+}

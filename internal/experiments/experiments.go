@@ -37,6 +37,10 @@ type Config struct {
 	// to this rectangle (sjbench -window); the paper-reproduction
 	// tables are defined over the full data sets and ignore it.
 	Window *geom.Rect
+	// Transports selects the stream encodings the transport
+	// experiment measures (sjbench -transport); empty means all of
+	// TransportModes.
+	Transports []string
 }
 
 // DefaultConfig runs all six data sets at 1/100 scale.

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"time"
+
+	"unijoin"
+	"unijoin/client"
+	"unijoin/internal/datagen"
+	"unijoin/internal/server"
+	"unijoin/internal/shard"
+)
+
+// TransportModes are the stream encodings the transport experiment
+// compares: the default NDJSON text protocol and the negotiated
+// internal/wire binary framing.
+var TransportModes = []string{"ndjson", "binary"}
+
+// transportRepeats is the best-of count per measured cell, the same
+// noise-suppression policy as the wall-clock experiment.
+const transportRepeats = 3
+
+// transportShards is the fleet width of the routed path: a router
+// fronting this many striped sjserved processes.
+const transportShards = 3
+
+// transportTiers are the three pair-volume tiers. Record extent is
+// fixed, so tripling the record counts grows the output roughly 9x
+// per tier — the stream volume is the variable under test, not the
+// join itself.
+var transportTiers = []struct {
+	Name        string
+	Left, Right int
+}{
+	{"small", 2_000, 1_500},
+	{"medium", 6_000, 4_500},
+	{"large", 18_000, 13_000},
+}
+
+// transportUniverse matches the shard test fixtures: a 1000x1000
+// universe with extent-25 uniform records yields a dense join.
+var transportUniverse = unijoin.NewRect(0, 0, 1000, 1000)
+
+// transportCatalog loads the given slices of both relations into a
+// fresh indexed catalog.
+func transportCatalog(iv *shard.Interval, a, b []unijoin.Record) (*unijoin.Catalog, error) {
+	ws := unijoin.NewWorkspace()
+	ws.SetUniverse(transportUniverse)
+	cat := unijoin.NewCatalogOn(ws)
+	for _, rel := range []struct {
+		name string
+		recs []unijoin.Record
+	}{{"a", a}, {"b", b}} {
+		recs := rel.recs
+		if iv != nil {
+			recs = iv.Slice(recs)
+		}
+		if _, err := cat.Load(rel.name, recs, true); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// transportServers boots the two serving topologies for one tier: a
+// single direct sjserved and a router fronting transportShards striped
+// shards, all in-process. The returned stop function tears every
+// listener down.
+func transportServers(a, b []unijoin.Record) (direct, routed string, stop func(), err error) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var servers []*httptest.Server
+	stop = func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+
+	cat, err := transportCatalog(nil, a, b)
+	if err != nil {
+		return "", "", stop, err
+	}
+	ds := httptest.NewServer(server.New(server.Config{Catalog: cat, Logger: logger}).Handler())
+	servers = append(servers, ds)
+
+	plan := shard.NewPlan(transportUniverse, transportShards, a, b)
+	urls := make([]string, plan.Shards())
+	for i := range urls {
+		iv := plan.Interval(i)
+		scat, cerr := transportCatalog(&iv, a, b)
+		if cerr != nil {
+			return "", "", stop, cerr
+		}
+		ss := httptest.NewServer(server.New(server.Config{Catalog: scat, Logger: logger, Stripe: &iv}).Handler())
+		servers = append(servers, ss)
+		urls[i] = ss.URL
+	}
+	router, err := shard.NewRouter(urls, nil)
+	if err != nil {
+		return "", "", stop, err
+	}
+	fs := httptest.NewServer(shard.NewService(shard.ServiceConfig{Router: router, Logger: logger}).Handler())
+	servers = append(servers, fs)
+	return ds.URL, fs.URL, stop, nil
+}
+
+// transportJoin streams one full join through cl and returns the pair
+// count and the client-observed wall time — connection, decode, and
+// callback included, which is the end-to-end latency a caller sees.
+func transportJoin(ctx context.Context, cl *client.Client) (int64, time.Duration, error) {
+	start := time.Now()
+	var streamed int64
+	sum, err := cl.Join(ctx, client.JoinRequest{Left: "a", Right: "b", Algorithm: "PQ"},
+		func(uint32, uint32) { streamed++ })
+	if err != nil {
+		return 0, 0, err
+	}
+	if streamed != sum.Pairs {
+		return 0, 0, fmt.Errorf("streamed %d pairs, summary says %d", streamed, sum.Pairs)
+	}
+	return sum.Pairs, time.Since(start), nil
+}
+
+// bestTransportRun keeps the fastest of transportRepeats full joins.
+func bestTransportRun(ctx context.Context, cl *client.Client) (int64, time.Duration, error) {
+	var pairs int64
+	var best time.Duration
+	for i := 0; i < transportRepeats; i++ {
+		p, d, err := transportJoin(ctx, cl)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+		pairs = p
+	}
+	return pairs, best, nil
+}
+
+// Transport measures end-to-end join latency under both stream
+// encodings, against a direct server and through a router relay, at
+// three pair-volume tiers. Pair counts are cross-checked across every
+// cell of a tier, so the table doubles as a transport-parity check.
+func Transport(ctx context.Context, cfg Config) (*Table, error) {
+	modes := cfg.Transports
+	if len(modes) == 0 {
+		modes = TransportModes
+	}
+	t := &Table{
+		ID: "transport",
+		Title: fmt.Sprintf("Stream transport latency, direct vs %d-shard router (best of %d)",
+			transportShards, transportRepeats),
+		Header: []string{"Tier", "Records", "Pairs", "Transport",
+			"Direct ms", "Router ms", "Router/Direct"},
+	}
+	for _, tier := range transportTiers {
+		a := datagen.Uniform(cfg.Tiger.Seed, tier.Left, transportUniverse, 25)
+		b := datagen.Uniform(cfg.Tiger.Seed+1, tier.Right, transportUniverse, 25)
+		directURL, routedURL, stop, err := transportServers(a, b)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+
+		var wantPairs int64 = -1
+		for _, mode := range modes {
+			newClient := func(url string) *client.Client {
+				cl := client.New(url, nil)
+				cl.PreferBinary = mode == "binary"
+				return cl
+			}
+			directPairs, directTime, err := bestTransportRun(ctx, newClient(directURL))
+			if err != nil {
+				stop()
+				return nil, fmt.Errorf("transport %s/%s direct: %w", tier.Name, mode, err)
+			}
+			routedPairs, routedTime, err := bestTransportRun(ctx, newClient(routedURL))
+			if err != nil {
+				stop()
+				return nil, fmt.Errorf("transport %s/%s routed: %w", tier.Name, mode, err)
+			}
+			if directPairs != routedPairs {
+				stop()
+				return nil, fmt.Errorf("transport %s/%s: direct %d pairs, routed %d",
+					tier.Name, mode, directPairs, routedPairs)
+			}
+			if wantPairs >= 0 && directPairs != wantPairs {
+				stop()
+				return nil, fmt.Errorf("transport %s: %s streamed %d pairs, previous mode %d",
+					tier.Name, mode, directPairs, wantPairs)
+			}
+			wantPairs = directPairs
+			t.AddRow(tier.Name,
+				fmt.Sprintf("%d+%d", tier.Left, tier.Right),
+				fmt.Sprintf("%d", directPairs),
+				mode,
+				ms(directTime),
+				ms(routedTime),
+				fmt.Sprintf("%.2f", float64(routedTime)/float64(directTime)))
+		}
+		stop()
+	}
+	t.AddNote("latency is client-observed wall time for a full PQ join stream, connection and decode included")
+	t.AddNote("pair counts cross-checked across transports and topologies on every tier")
+	return t, nil
+}

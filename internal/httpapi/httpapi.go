@@ -7,11 +7,13 @@
 package httpapi
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 
 	"unijoin/client"
 )
@@ -19,15 +21,39 @@ import (
 // MaxBodyBytes bounds request bodies; join/window requests are tiny.
 const MaxBodyBytes = 1 << 20
 
+// lineBuf is a poolable marshal buffer with its JSON encoder bound to
+// it once — Encoder.Encode writes into the reused buffer (and appends
+// the newline itself), so a steady-state streaming response allocates
+// nothing per line where json.Marshal allocated the returned slice
+// every call.
+type lineBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// maxPooledLineBytes caps what a returned buffer may retain: a freak
+// line (a huge windowed record batch) should not pin megabytes in the
+// pool for the rest of the process's life.
+const maxPooledLineBytes = 1 << 20
+
+var lineBufPool = sync.Pool{New: func() any {
+	lb := &lineBuf{}
+	lb.enc = json.NewEncoder(&lb.buf)
+	return lb
+}}
+
 // LineWriter emits NDJSON lines, flushing each one so clients see
 // results as they are produced. Started reports whether any bytes
 // have reached the client — the point of no return for the HTTP
 // status code. Write failures (a vanished client) are swallowed: the
 // query itself is aborted separately through the request context.
+// Its marshal buffer is pooled across requests; call Close (safe to
+// defer, safe to call twice) when the response is done.
 type LineWriter struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
 	started bool
+	lb      *lineBuf
 }
 
 // NewLineWriter wraps a response writer for NDJSON streaming.
@@ -45,18 +71,33 @@ func (lw *LineWriter) ResponseWriter() http.ResponseWriter { return lw.w }
 
 // WriteLine marshals v and sends it as one flushed NDJSON line.
 func (lw *LineWriter) WriteLine(v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
+	if lw.lb == nil {
+		lw.lb = lineBufPool.Get().(*lineBuf)
+	}
+	lw.lb.buf.Reset()
+	if err := lw.lb.enc.Encode(v); err != nil {
 		return
 	}
 	if !lw.started {
 		lw.w.Header().Set("Content-Type", "application/x-ndjson")
 		lw.started = true
 	}
-	lw.w.Write(append(data, '\n'))
+	lw.w.Write(lw.lb.buf.Bytes())
 	if lw.flusher != nil {
 		lw.flusher.Flush()
 	}
+}
+
+// Close returns the line buffer to the pool. The writer must not be
+// used afterwards; calling Close more than once is a no-op.
+func (lw *LineWriter) Close() {
+	if lw.lb == nil {
+		return
+	}
+	if lw.lb.buf.Cap() <= maxPooledLineBytes {
+		lineBufPool.Put(lw.lb)
+	}
+	lw.lb = nil
 }
 
 // WriteJSON sends a 200 with a plain JSON body, marshaling before any

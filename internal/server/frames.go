@@ -1,0 +1,37 @@
+package server
+
+import (
+	"net/http"
+
+	"unijoin/client"
+	"unijoin/internal/httpapi"
+	"unijoin/internal/wire"
+)
+
+// newFrameStream wraps a response writer for binary frame streaming
+// with the server's frame metrics attached.
+func (s *Server) newFrameStream(w http.ResponseWriter) *httpapi.FrameWriter {
+	return httpapi.NewFrameWriter(w, func(t wire.Type, frames, bytes int64) {
+		s.metrics.frames.With(t.String()).Add(frames)
+		s.metrics.frameBytes.With(t.String()).Add(bytes)
+	})
+}
+
+// finishErrorFrames is finishError for the binary transport: a proper
+// HTTP status while nothing has streamed, a terminal ERROR frame plus
+// END once frames are under way.
+func (s *Server) finishErrorFrames(fs *httpapi.FrameWriter, err error) {
+	apiErr := errorFor(err)
+	if apiErr.Code == client.CodeCanceled {
+		s.metrics.canceled.Inc()
+	}
+	if !fs.Started() {
+		httpapi.WriteError(fs.ResponseWriter(), apiErr) // the middleware counts non-canceled statuses
+		return
+	}
+	if apiErr.Code != client.CodeCanceled {
+		s.metrics.errors.Inc()
+	}
+	fs.WriteError(apiErr)
+	fs.End()
+}

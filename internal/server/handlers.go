@@ -11,6 +11,7 @@ import (
 	"unijoin"
 	"unijoin/client"
 	"unijoin/internal/httpapi"
+	"unijoin/internal/wire"
 )
 
 // maxParallelism caps the per-request worker count: the parallel
@@ -73,14 +74,29 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// answers exactly the single-process result — so even count-only
 	// joins must see the pairs: kernel counting would count pairs
 	// this shard does not own.
-	lw := httpapi.NewLineWriter(w)
-	// writeLine accumulates the stream phase: wall time spent
-	// marshaling and flushing response lines (all writes happen on
-	// this goroutine — EmitBatch callbacks run synchronously).
+	binary := wire.Negotiates(r)
+	var lw *httpapi.LineWriter
+	var fs *httpapi.FrameWriter
+	if binary {
+		fs = s.newFrameStream(w)
+		defer fs.Close()
+	} else {
+		lw = httpapi.NewLineWriter(w)
+		defer lw.Close()
+	}
+	// flushPairs streams one batch on whichever transport was
+	// negotiated, accumulating the stream phase: wall time spent
+	// encoding and flushing (all writes happen on this goroutine —
+	// EmitBatch callbacks run synchronously).
 	var streamTime time.Duration
-	writeLine := func(v any) {
+	flushPairs := func(batch [][2]uint32) {
+		s.metrics.pairsStreamed.Add(int64(len(batch)))
 		t0 := time.Now()
-		lw.WriteLine(v)
+		if binary {
+			fs.WritePairs(batch)
+		} else {
+			lw.WriteLine(client.JoinLine{Pairs: batch})
+		}
 		streamTime += time.Since(t0)
 	}
 	var ownsPair func(l, rr uint32) bool
@@ -149,8 +165,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 				}
 				pairs = append(pairs, [2]uint32{p.Left, p.Right})
 				if len(pairs) == s.batch {
-					s.metrics.pairsStreamed.Add(int64(len(pairs)))
-					writeLine(client.JoinLine{Pairs: pairs})
+					flushPairs(pairs)
 					pairs = pairs[:0]
 				}
 			}
@@ -159,12 +174,15 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := q.Run(ctx)
 	if err != nil {
-		s.finishError(lw, err, func(e *client.APIError) any { return client.JoinLine{Error: e} })
+		if binary {
+			s.finishErrorFrames(fs, err)
+		} else {
+			s.finishError(lw, err, func(e *client.APIError) any { return client.JoinLine{Error: e} })
+		}
 		return
 	}
 	if len(pairs) > 0 {
-		s.metrics.pairsStreamed.Add(int64(len(pairs)))
-		writeLine(client.JoinLine{Pairs: pairs})
+		flushPairs(pairs)
 	}
 	elapsed := time.Since(start)
 	count := res.Count()
@@ -185,7 +203,12 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			StreamMillis:    phases.stream * 1000,
 		}
 	}
-	lw.WriteLine(client.JoinLine{Summary: sum})
+	if binary {
+		fs.WriteSummary(sum)
+		fs.End()
+	} else {
+		lw.WriteLine(client.JoinLine{Summary: sum})
+	}
 }
 
 // xloLookup maps record IDs to left edges for the ownership test.
@@ -299,13 +322,39 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	// shard, so a router's merged stream has no replicated
 	// boundary-record duplicates — and the count must come from the
 	// filtered emit path rather than WindowQuery's total.
-	lw := httpapi.NewLineWriter(w)
+	binary := wire.Negotiates(r)
+	var lw *httpapi.LineWriter
+	var fs *httpapi.FrameWriter
+	if binary {
+		fs = s.newFrameStream(w)
+		defer fs.Close()
+	} else {
+		lw = httpapi.NewLineWriter(w)
+		defer lw.Close()
+	}
 	var owned int64
 	var emit func(unijoin.Record)
-	var recs []client.RecordOut
+	// Records accumulate in the kernel's own representation; the
+	// NDJSON transport converts per batch (into a reused buffer), the
+	// binary transport packs them directly — no float64 detour.
+	var recs []unijoin.Record
+	var out []client.RecordOut
+	flushRecs := func() {
+		s.metrics.recordsStreamed.Add(int64(len(recs)))
+		if binary {
+			fs.WriteRecords(recs)
+		} else {
+			out = out[:0]
+			for _, rec := range recs {
+				out = append(out, client.RecordOut{ID: rec.ID, Rect: fromRect(rec.Rect)})
+			}
+			lw.WriteLine(client.WindowLine{Records: out})
+		}
+		recs = recs[:0]
+	}
 	if !req.CountOnly || s.stripe != nil {
 		if !req.CountOnly {
-			recs = make([]client.RecordOut, 0, s.batch)
+			recs = make([]unijoin.Record, 0, s.batch)
 		}
 		emit = func(rec unijoin.Record) {
 			if s.stripe != nil && !s.stripe.OwnsRecord(rec.Rect) {
@@ -315,33 +364,40 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 			if req.CountOnly {
 				return
 			}
-			recs = append(recs, client.RecordOut{ID: rec.ID, Rect: fromRect(rec.Rect)})
+			recs = append(recs, rec)
 			if len(recs) == s.batch {
-				s.metrics.recordsStreamed.Add(int64(len(recs)))
-				lw.WriteLine(client.WindowLine{Records: recs})
-				recs = recs[:0]
+				flushRecs()
 			}
 		}
 	}
 	start := time.Now()
 	n, err := rel.WindowQuery(ctx, toRect(*req.Window), emit)
 	if err != nil {
-		s.finishError(lw, err, func(e *client.APIError) any { return client.WindowLine{Error: e} })
+		if binary {
+			s.finishErrorFrames(fs, err)
+		} else {
+			s.finishError(lw, err, func(e *client.APIError) any { return client.WindowLine{Error: e} })
+		}
 		return
 	}
 	if len(recs) > 0 {
-		s.metrics.recordsStreamed.Add(int64(len(recs)))
-		lw.WriteLine(client.WindowLine{Records: recs})
+		flushRecs()
 	}
 	if s.stripe != nil {
 		n = owned
 	}
-	lw.WriteLine(client.WindowLine{Summary: &client.WindowSummary{
+	sum := &client.WindowSummary{
 		Relation:      req.Relation,
 		Records:       n,
 		Indexed:       rel.Indexed(),
 		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
-	}})
+	}
+	if binary {
+		fs.WriteSummary(sum)
+		fs.End()
+	} else {
+		lw.WriteLine(client.WindowLine{Summary: sum})
+	}
 }
 
 // requestContext narrows the request's context (which already carries

@@ -25,6 +25,12 @@ type metrics struct {
 	pairsStreamed   *obs.Counter
 	recordsStreamed *obs.Counter
 
+	// Binary-transport families: frames and payload+header bytes
+	// written to negotiated frame streams, by frame type
+	// (pairs/records/summary/error/end).
+	frames     *obs.CounterVec // sj_frames_total{type}
+	frameBytes *obs.CounterVec // sj_frame_bytes_total{type}
+
 	// Ingestion families: appends accepted, records written per
 	// relation, append wall time, compactions triggered, and the
 	// per-relation delta-log depth (distance to the next compaction).
@@ -83,6 +89,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Result pairs written to join response streams."),
 		recordsStreamed: reg.Counter("sj_records_streamed_total",
 			"Records written to window response streams."),
+		frames: reg.CounterVec("sj_frames_total",
+			"Binary transport frames written, by frame type.",
+			"type"),
+		frameBytes: reg.CounterVec("sj_frame_bytes_total",
+			"Binary transport bytes written (headers included), by frame type.",
+			"type"),
 		appends: reg.Counter("sj_appends_total",
 			"Append requests accepted (before validation)."),
 		ingestRecords: reg.CounterVec("sj_ingest_records_total",

@@ -78,7 +78,7 @@ func TestRouterAppendEqualsSingleProcess(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cl, _ := startFleet(t, plan, names, rels, true)
+			cl, _, _ := startFleet(t, plan, names, rels, true)
 			ctx := context.Background()
 
 			// Queries before the append see exactly the base state.
@@ -205,7 +205,7 @@ func TestRouterConcurrentAppendsAndQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, _ := startFleet(t, plan, []string{"a", "b"},
+	cl, _, _ := startFleet(t, plan, []string{"a", "b"},
 		map[string][]unijoin.Record{"a": baseA, "b": baseB}, true)
 	ctx := context.Background()
 
@@ -247,7 +247,7 @@ func TestRouterConcurrentAppendsAndQueries(t *testing.T) {
 
 	// Concurrent: rebuild a fresh fleet and race the writer against
 	// readers.
-	cl2, _ := startFleet(t, plan, []string{"a", "b"},
+	cl2, _, _ := startFleet(t, plan, []string{"a", "b"},
 		map[string][]unijoin.Record{"a": baseA, "b": baseB}, true)
 	var completed atomic.Int64
 	var wg sync.WaitGroup

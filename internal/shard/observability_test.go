@@ -26,7 +26,8 @@ func obsFleet(t *testing.T) (*client.Client, *shard.Router) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return startFleet(t, plan, []string{"a", "b"}, rels, true)
+	cl, router, _ := startFleet(t, plan, []string{"a", "b"}, rels, true)
+	return cl, router
 }
 
 // TestTraceAcrossFleet is the acceptance test for per-query phase

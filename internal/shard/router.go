@@ -229,6 +229,47 @@ func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(
 	if err != nil {
 		return nil, err
 	}
+	return mergeJoinSummaries(sums), nil
+}
+
+// JoinFrames is Join on the binary transport's relay path: each
+// shard's DATA frames are handed to onFrame as their exact wire bytes
+// — the router never decodes or re-encodes a pair; only the terminal
+// SUMMARY/ERROR frames are parsed for merging. Frames from different
+// shards interleave (serialized, one whole frame at a time), and a
+// shard that only speaks NDJSON has its batches re-framed inside the
+// client call, so the output is a well-formed frame stream either
+// way.
+func (r *Router) JoinFrames(ctx context.Context, req client.JoinRequest, onFrame func(raw []byte)) (*client.JoinSummary, error) {
+	var mu sync.Mutex
+	sums := make([]*client.JoinSummary, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		var cb func([]byte)
+		if onFrame != nil {
+			cb = func(raw []byte) {
+				mu.Lock()
+				defer mu.Unlock()
+				onFrame(raw)
+			}
+		}
+		s, err := cl.JoinRawFrames(ctx, req, cb)
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeJoinSummaries(sums), nil
+}
+
+// mergeJoinSummaries sums the per-shard summaries: Pairs and record
+// counts add (boundary-crossing records count once per shard that
+// loaded them), the elapsed time is the slowest shard's, and traces
+// merge per phase by maximum.
+func mergeJoinSummaries(sums []*client.JoinSummary) *client.JoinSummary {
 	merged := *sums[0]
 	if merged.Trace != nil {
 		// Clone: the merge below mutates the trace, which must not
@@ -245,7 +286,7 @@ func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(
 		}
 		merged.Trace = mergeTraces(merged.Trace, s.Trace)
 	}
-	return &merged, nil
+	return &merged
 }
 
 // mergeTraces combines per-shard phase traces the way ElapsedMillis
@@ -291,6 +332,40 @@ func (r *Router) Window(ctx context.Context, req client.WindowRequest, onBatch f
 	if err != nil {
 		return nil, err
 	}
+	return mergeWindowSummaries(sums), nil
+}
+
+// WindowFrames is Window on the relay path, mirroring JoinFrames with
+// RECORDS frames.
+func (r *Router) WindowFrames(ctx context.Context, req client.WindowRequest, onFrame func(raw []byte)) (*client.WindowSummary, error) {
+	var mu sync.Mutex
+	sums := make([]*client.WindowSummary, len(r.clients))
+	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+		var cb func([]byte)
+		if onFrame != nil {
+			cb = func(raw []byte) {
+				mu.Lock()
+				defer mu.Unlock()
+				onFrame(raw)
+			}
+		}
+		s, err := cl.WindowRawFrames(ctx, req, cb)
+		if err != nil {
+			return err
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeWindowSummaries(sums), nil
+}
+
+// mergeWindowSummaries sums the per-shard summaries: record counts
+// add, Indexed requires every shard indexed, the elapsed time is the
+// slowest shard's.
+func mergeWindowSummaries(sums []*client.WindowSummary) *client.WindowSummary {
 	merged := *sums[0]
 	for _, s := range sums[1:] {
 		merged.Records += s.Records
@@ -299,7 +374,7 @@ func (r *Router) Window(ctx context.Context, req client.WindowRequest, onBatch f
 			merged.ElapsedMillis = s.ElapsedMillis
 		}
 	}
-	return &merged, nil
+	return &merged
 }
 
 // stripes returns each shard's ownership interval in endpoint order,

@@ -51,7 +51,7 @@ func startShard(t *testing.T, iv shard.Interval, names []string, rels map[string
 // them with a router service, and returns a client speaking to it —
 // the full path a production client takes: client → sjrouter →
 // scatter → K × sjserved → gather.
-func startFleet(t *testing.T, plan *shard.Plan, names []string, rels map[string][]unijoin.Record, index bool) (*client.Client, *shard.Router) {
+func startFleet(t *testing.T, plan *shard.Plan, names []string, rels map[string][]unijoin.Record, index bool) (*client.Client, *shard.Router, string) {
 	t.Helper()
 	urls := make([]string, plan.Shards())
 	for i := range urls {
@@ -67,7 +67,7 @@ func startFleet(t *testing.T, plan *shard.Plan, names []string, rels map[string]
 	svc := shard.NewService(shard.ServiceConfig{Router: router, Logger: discard()})
 	front := httptest.NewServer(svc.Handler())
 	t.Cleanup(front.Close)
-	return client.New(front.URL, nil), router
+	return client.New(front.URL, nil), router, front.URL
 }
 
 // brute computes the reference pair set independently of every join
@@ -179,7 +179,7 @@ func TestRouterJoinEqualsSingleProcess(t *testing.T) {
 				} else {
 					plan = shard.NewPlan(universe, k, tc.a, tc.b)
 				}
-				cl, _ := startFleet(t, plan, names, rels, true)
+				cl, _, _ := startFleet(t, plan, names, rels, true)
 				ctx := context.Background()
 
 				for _, alg := range allAlgorithms {
@@ -269,7 +269,7 @@ func TestRouterMetadataAndErrors(t *testing.T) {
 	rels := map[string][]unijoin.Record{"a": a, "b": b}
 	names := []string{"a", "b"}
 	plan := shard.NewPlan(universe, 3, a, b)
-	cl, router := startFleet(t, plan, names, rels, false) // no indexes
+	cl, router, _ := startFleet(t, plan, names, rels, false) // no indexes
 	ctx := context.Background()
 
 	infos, err := cl.Relations(ctx)

@@ -11,6 +11,7 @@ import (
 	"unijoin/client"
 	"unijoin/internal/httpapi"
 	"unijoin/internal/obs"
+	"unijoin/internal/wire"
 )
 
 // ServiceConfig configures a Service.
@@ -42,6 +43,13 @@ type Service struct {
 	requests *obs.CounterVec
 	latency  *obs.HistogramVec
 	inFlight *obs.Gauge
+
+	// Binary-transport families, matching internal/server's: frames
+	// and bytes written to negotiated frame streams, by frame type.
+	// On a router most DATA frames are relays — counted here without
+	// ever being decoded.
+	frames     *obs.CounterVec // sj_frames_total{type}
+	frameBytes *obs.CounterVec // sj_frame_bytes_total{type}
 }
 
 // NewService builds the HTTP layer over cfg.Router.
@@ -64,6 +72,12 @@ func NewService(cfg ServiceConfig) *Service {
 			nil, "endpoint"),
 		inFlight: reg.Gauge("sj_requests_in_flight",
 			"Requests currently being served."),
+		frames: reg.CounterVec("sj_frames_total",
+			"Binary transport frames written, by frame type.",
+			"type"),
+		frameBytes: reg.CounterVec("sj_frame_bytes_total",
+			"Binary transport bytes written (headers included), by frame type.",
+			"type"),
 	}
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
@@ -155,7 +169,25 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
 
+	if wire.Negotiates(r) {
+		fw := s.newFrameWriter(w)
+		defer fw.Close()
+		var onFrame func([]byte)
+		if !req.CountOnly {
+			onFrame = fw.Relay
+		}
+		sum, err := s.router.JoinFrames(ctx, req, onFrame)
+		if err != nil {
+			s.finishErrorFrames(fw, err)
+			return
+		}
+		fw.WriteSummary(sum)
+		fw.End()
+		return
+	}
+
 	lw := httpapi.NewLineWriter(w)
+	defer lw.Close()
 	var onBatch func([][2]uint32)
 	if !req.CountOnly {
 		onBatch = func(batch [][2]uint32) {
@@ -179,7 +211,25 @@ func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
 
+	if wire.Negotiates(r) {
+		fw := s.newFrameWriter(w)
+		defer fw.Close()
+		var onFrame func([]byte)
+		if !req.CountOnly {
+			onFrame = fw.Relay
+		}
+		sum, err := s.router.WindowFrames(ctx, req, onFrame)
+		if err != nil {
+			s.finishErrorFrames(fw, err)
+			return
+		}
+		fw.WriteSummary(sum)
+		fw.End()
+		return
+	}
+
 	lw := httpapi.NewLineWriter(w)
+	defer lw.Close()
 	var onBatch func([]client.RecordOut)
 	if !req.CountOnly {
 		onBatch = func(batch []client.RecordOut) {
@@ -243,6 +293,29 @@ func (s *Service) finishError(lw *httpapi.LineWriter, err error, wrap func(*clie
 		return
 	}
 	lw.WriteLine(wrap(apiErr))
+}
+
+// newFrameWriter wraps a response writer for frame streaming with the
+// service's frame metrics attached.
+func (s *Service) newFrameWriter(w http.ResponseWriter) *httpapi.FrameWriter {
+	return httpapi.NewFrameWriter(w, func(t wire.Type, frames, bytes int64) {
+		s.frames.With(t.String()).Add(frames)
+		s.frameBytes.With(t.String()).Add(bytes)
+	})
+}
+
+// finishErrorFrames reports a failed scatter on the binary transport:
+// an HTTP status while nothing has streamed, or a well-formed ERROR
+// frame plus END after DATA frames have already been relayed — the
+// mid-stream shard-failure contract a decoding client depends on.
+func (s *Service) finishErrorFrames(fw *httpapi.FrameWriter, err error) {
+	apiErr := apiErrorFor(err)
+	if !fw.Started() {
+		httpapi.WriteError(fw.ResponseWriter(), apiErr)
+		return
+	}
+	fw.WriteError(apiErr)
+	fw.End()
 }
 
 // apiErrorFor classifies a router error for the wire: a shard's own

@@ -1,0 +1,340 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"unijoin"
+	"unijoin/client"
+	"unijoin/internal/datagen"
+	"unijoin/internal/shard"
+	"unijoin/internal/wire"
+)
+
+// TestBinaryTransportEqualsNDJSON is the transport-parity property:
+// for every algorithm, shard count, and windowing, the pair set a
+// client receives over the negotiated binary transport equals the
+// NDJSON set equals the single-process brute-force answer — on
+// uniform and boundary-adversarial inputs, through the full
+// client → router relay → shards path.
+func TestBinaryTransportEqualsNDJSON(t *testing.T) {
+	fixedBounds := []unijoin.Coord{140, 320, 500, 680, 810, 930}
+	advA, advB := adversarial(fixedBounds)
+	cases := []struct {
+		name  string
+		a, b  []unijoin.Record
+		fixed []unijoin.Coord
+	}{
+		{name: "uniform", a: datagen.Uniform(61, 1500, universe, 25), b: datagen.Uniform(62, 1100, universe, 25)},
+		{name: "adversarial", a: advA, b: advB, fixed: fixedBounds},
+	}
+	win := unijoin.NewRect(100, 100, 450, 450)
+	winDTO := client.Rect{XLo: 100, YLo: 100, XHi: 450, YHi: 450}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rels := map[string][]unijoin.Record{"a": tc.a, "b": tc.b}
+			names := []string{"a", "b"}
+			wantAll := brute(tc.a, tc.b, nil)
+			wantWin := brute(tc.a, tc.b, &win)
+
+			for _, k := range []int{1, 2, 4} {
+				var plan *shard.Plan
+				if tc.fixed != nil {
+					var err error
+					plan, err = shard.PlanFromBoundaries(universe, tc.fixed[:k-1])
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					plan = shard.NewPlan(universe, k, tc.a, tc.b)
+				}
+				ncl, _, url := startFleet(t, plan, names, rels, true)
+				bcl := client.New(url, nil)
+				bcl.PreferBinary = true
+				ctx := context.Background()
+
+				for _, alg := range allAlgorithms {
+					for _, windowed := range []bool{false, true} {
+						req := client.JoinRequest{Left: "a", Right: "b", Algorithm: alg}
+						want := wantAll
+						if windowed {
+							req.Window = &winDTO
+							want = wantWin
+						}
+						collect := func(cl *client.Client) map[unijoin.Pair]bool {
+							got := map[unijoin.Pair]bool{}
+							dups := 0
+							sum, err := cl.Join(ctx, req, func(l, r uint32) {
+								p := unijoin.Pair{Left: l, Right: r}
+								if got[p] {
+									dups++
+								}
+								got[p] = true
+							})
+							if err != nil {
+								t.Fatalf("k=%d %s windowed=%v: %v", k, alg, windowed, err)
+							}
+							if dups != 0 {
+								t.Fatalf("k=%d %s windowed=%v: %d duplicate pairs", k, alg, windowed, dups)
+							}
+							if int64(len(got)) != sum.Pairs {
+								t.Fatalf("k=%d %s windowed=%v: streamed %d pairs, summary says %d",
+									k, alg, windowed, len(got), sum.Pairs)
+							}
+							return got
+						}
+						nd := collect(ncl)
+						bin := collect(bcl)
+						if len(nd) != len(want) || len(bin) != len(want) {
+							t.Fatalf("k=%d %s windowed=%v: ndjson %d, binary %d, brute %d pairs",
+								k, alg, windowed, len(nd), len(bin), len(want))
+						}
+						for p := range want {
+							if !nd[p] {
+								t.Fatalf("k=%d %s windowed=%v: pair %v missing over NDJSON", k, alg, windowed, p)
+							}
+							if !bin[p] {
+								t.Fatalf("k=%d %s windowed=%v: pair %v missing over binary", k, alg, windowed, p)
+							}
+						}
+					}
+				}
+
+				// Window queries: the record sets must agree too.
+				collectRecs := func(cl *client.Client) map[uint32]client.RecordOut {
+					got := map[uint32]client.RecordOut{}
+					if _, err := cl.Window(ctx, client.WindowRequest{Relation: "a", Window: &winDTO},
+						func(r client.RecordOut) { got[r.ID] = r }); err != nil {
+						t.Fatalf("k=%d window: %v", k, err)
+					}
+					return got
+				}
+				ndr, binr := collectRecs(ncl), collectRecs(bcl)
+				if len(ndr) != len(binr) {
+					t.Fatalf("k=%d window: %d records over NDJSON, %d over binary", k, len(ndr), len(binr))
+				}
+				for id, w := range ndr {
+					g, ok := binr[id]
+					if !ok {
+						t.Fatalf("k=%d window: record %d missing over binary", k, id)
+					}
+					if g.Rect != w.Rect {
+						t.Fatalf("k=%d window: record %d rect %+v over binary, %+v over NDJSON", k, id, g.Rect, w.Rect)
+					}
+				}
+			}
+		})
+	}
+}
+
+// frameShardStub serves POST /v1/join with a fixed pre-framed binary
+// body, standing in for a shard whose exact output bytes the test
+// controls.
+func frameShardStub(t *testing.T, body []byte) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", func(w http.ResponseWriter, r *http.Request) {
+		if !wire.Negotiates(r) {
+			t.Error("router did not negotiate the binary transport with the shard")
+		}
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Write(body)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestRouterRelayZeroDecode proves the router's relay performs zero
+// per-entry decode end to end: a shard's PAIRS frame with a
+// deliberately broken payload CRC — which any decode/re-encode cycle
+// would either reject or silently repair — must come out of the
+// router front byte-identical, CRC still broken.
+func TestRouterRelayZeroDecode(t *testing.T) {
+	payload := []byte{7, 0, 0, 0, 9, 0, 0, 0} // one pair (7, 9)
+	corrupt := wire.AppendFrame(nil, wire.TypePairs, payload)
+	corrupt[8] ^= 0xA5 // break the CRC
+	sum, err := json.Marshal(&client.JoinSummary{Left: "a", Right: "b", Algorithm: "PQ", Pairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte(nil), corrupt...)
+	body = wire.AppendFrame(body, wire.TypeSummary, sum)
+	body = wire.AppendFrame(body, wire.TypeEnd, nil)
+
+	router, err := shard.NewRouter([]string{frameShardStub(t, body)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := shard.NewService(shard.ServiceConfig{Router: router, Logger: discard()})
+	front := httptest.NewServer(svc.Handler())
+	t.Cleanup(front.Close)
+
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/join",
+		bytes.NewReader([]byte(`{"left":"a","right":"b"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if !wire.IsFrameResponse(resp.Header.Get("Content-Type")) {
+		t.Fatalf("front answered %q, want a frame stream", resp.Header.Get("Content-Type"))
+	}
+
+	sc := wire.NewScanner(resp.Body)
+	typ, raw, err := sc.Next()
+	if err != nil || typ != wire.TypePairs {
+		t.Fatalf("first frame: type %v, err %v; want relayed pairs", typ, err)
+	}
+	if !bytes.Equal(raw, corrupt) {
+		t.Fatalf("router modified the relayed frame:\n got %x\nwant %x", raw, corrupt)
+	}
+	if err := wire.Verify(raw); !errors.Is(err, wire.ErrChecksum) {
+		t.Fatalf("relayed CRC verifies as %v — the router must have re-encoded the payload", err)
+	}
+	typ, raw, err = sc.Next()
+	if err != nil || typ != wire.TypeSummary {
+		t.Fatalf("second frame: type %v, err %v; want the merged summary", typ, err)
+	}
+	var merged client.JoinSummary
+	if err := json.Unmarshal(raw[wire.HeaderSize:], &merged); err != nil || merged.Pairs != 1 {
+		t.Fatalf("merged summary: %+v, err %v", merged, err)
+	}
+	if typ, _, err = sc.Next(); err != nil || typ != wire.TypeEnd {
+		t.Fatalf("third frame: type %v, err %v; want end", typ, err)
+	}
+}
+
+// TestRouterReframesNDJSONShard covers the rolling-upgrade case: a
+// shard that only speaks NDJSON behind a router whose client asked
+// for frames. The router must re-frame the shard's batches so the
+// front's output is still a valid frame stream with the same pairs.
+func TestRouterReframesNDJSONShard(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", func(w http.ResponseWriter, r *http.Request) {
+		// An old shard: ignores Accept, always answers NDJSON.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"pairs":[[1,2],[3,4]]}`+"\n")
+		io.WriteString(w, `{"summary":{"left":"a","right":"b","algorithm":"PQ","pairs":2,"left_records":2,"right_records":2,"elapsed_ms":1}}`+"\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	router, err := shard.NewRouter([]string{ts.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := shard.NewService(shard.ServiceConfig{Router: router, Logger: discard()})
+	front := httptest.NewServer(svc.Handler())
+	t.Cleanup(front.Close)
+
+	bcl := client.New(front.URL, nil)
+	bcl.PreferBinary = true
+	var got [][2]uint32
+	sum, err := bcl.Join(context.Background(), client.JoinRequest{Left: "a", Right: "b"},
+		func(l, r uint32) { got = append(got, [2]uint32{l, r}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pairs != 2 || len(got) != 2 || got[0] != [2]uint32{1, 2} || got[1] != [2]uint32{3, 4} {
+		t.Fatalf("reframed stream: pairs %v, summary %+v", got, sum)
+	}
+}
+
+// TestMidStreamShardFailureBinary pins the failure contract of the
+// relay path: when a shard dies after the router has already relayed
+// DATA frames, the front must close its response with a well-formed
+// ERROR frame (mapping to the internal-error class) and END — never a
+// silently truncated stream.
+func TestMidStreamShardFailureBinary(t *testing.T) {
+	goodFrame := wire.AppendFrame(nil, wire.TypePairs, []byte{1, 0, 0, 0, 2, 0, 0, 0})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Write(goodFrame)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		// Die mid-frame: a header fragment, then the connection ends.
+		w.Write([]byte{wire.Magic0, wire.Magic1, wire.Version})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	router, err := shard.NewRouter([]string{ts.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := shard.NewService(shard.ServiceConfig{Router: router, Logger: discard()})
+	front := httptest.NewServer(svc.Handler())
+	t.Cleanup(front.Close)
+
+	// Raw inspection first: the front's stream must decode cleanly
+	// frame by frame and terminate DATA… ERROR END.
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/join",
+		bytes.NewReader([]byte(`{"left":"a","right":"b"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := wire.NewDecoder(resp.Body)
+	var types []wire.Type
+	var apiErr client.APIError
+	for {
+		f, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("front stream is not well-formed after shard failure: %v", err)
+		}
+		types = append(types, f.Type)
+		if f.Type == wire.TypeError {
+			if err := json.Unmarshal(f.Payload, &apiErr); err != nil {
+				t.Fatalf("bad ERROR frame payload: %v", err)
+			}
+		}
+	}
+	if len(types) < 3 || types[0] != wire.TypePairs ||
+		types[len(types)-2] != wire.TypeError || types[len(types)-1] != wire.TypeEnd {
+		t.Fatalf("frame sequence %v; want pairs… error end", types)
+	}
+	if apiErr.Code == "" {
+		t.Fatal("ERROR frame carried no error code")
+	}
+
+	// And through the decoding client: relayed pairs arrive, then the
+	// typed error, matching the internal-error class.
+	bcl := client.New(front.URL, nil)
+	bcl.PreferBinary = true
+	var pairs int
+	_, err = bcl.Join(context.Background(), client.JoinRequest{Left: "a", Right: "b"},
+		func(l, r uint32) { pairs++ })
+	if err == nil {
+		t.Fatal("mid-stream shard failure surfaced no error")
+	}
+	if !errors.Is(err, client.ErrInternal) {
+		t.Fatalf("mid-stream failure error = %v, want the ErrInternal class", err)
+	}
+	if pairs != 1 {
+		t.Fatalf("relayed %d pairs before the failure, want 1", pairs)
+	}
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecoder is the decoder's robustness harness: arbitrary bytes
+// must never panic, never allocate past the MaxPayload bound, and
+// either decode cleanly or fail with an error matching ErrCorrupt.
+// The committed seed corpus (testdata/fuzz/FuzzDecoder) covers a valid
+// stream, each corruption class, and boundary payload sizes; run
+//
+//	go test -fuzz FuzzDecoder ./internal/wire
+//
+// to explore further.
+func FuzzDecoder(f *testing.F) {
+	// A well-formed stream: pairs, summary, end.
+	valid := AppendFrame(nil, TypePairs, []byte{1, 0, 0, 0, 2, 0, 0, 0})
+	valid = AppendFrame(valid, TypeSummary, []byte(`{"pairs":1}`))
+	valid = AppendFrame(valid, TypeEnd, nil)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{Magic0})                                              // mid-magic truncation
+	f.Add(valid[:HeaderSize-1])                                        // mid-header truncation
+	f.Add(valid[:HeaderSize+3])                                        // mid-payload truncation
+	f.Add(append([]byte{'X'}, valid...))                               // leading garbage
+	f.Add([]byte{Magic0, Magic1, 9, 1, 0, 0, 0, 0, 0, 0, 0, 0})        // bad version
+	f.Add([]byte{Magic0, Magic1, Version, 77, 0, 0, 0, 0, 0, 0, 0, 0}) // bad type
+	// Maximal length field: 0xFFFFFFFF — must be rejected, not allocated.
+	f.Add([]byte{Magic0, Magic1, Version, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		var pairs [][2]uint32
+		for i := 0; i < 1<<12; i++ { // frame-count bound, not a byte bound
+			frame, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("decoder error outside the ErrCorrupt class: %v", err)
+				}
+				return
+			}
+			if len(frame.Payload) > MaxPayload {
+				t.Fatalf("decoder surfaced a %d-byte payload past MaxPayload", len(frame.Payload))
+			}
+			switch frame.Type {
+			case TypePairs:
+				if pairs, err = frame.Pairs(pairs[:0]); err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("Pairs error outside ErrCorrupt: %v", err)
+				}
+			case TypeRecords:
+				if _, err := frame.Records(nil); err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("Records error outside ErrCorrupt: %v", err)
+				}
+			}
+		}
+
+		// The scanner must be exactly as robust, and what it accepts
+		// must round-trip verbatim.
+		sc := NewScanner(bytes.NewReader(data))
+		for i := 0; i < 1<<12; i++ {
+			_, raw, err := sc.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("scanner error outside the ErrCorrupt class: %v", err)
+				}
+				return
+			}
+			if len(raw) > HeaderSize+MaxPayload {
+				t.Fatalf("scanner surfaced a %d-byte frame past the bound", len(raw))
+			}
+		}
+	})
+}
