@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -34,8 +35,8 @@ func frameError(format string, args ...any) *APIError {
 // notAcceptable reports whether err is an HTTP 406 — a server
 // refusing the offered media type, the explicit fallback signal.
 func notAcceptable(err error) bool {
-	apiErr, ok := err.(*APIError)
-	return ok && apiErr.Status == http.StatusNotAcceptable
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotAcceptable
 }
 
 // JoinFrames is JoinBatches over the binary transport: pairs arrive
@@ -79,7 +80,7 @@ func decodeJoinFrames(body io.Reader, onBatch func([][2]uint32)) (*JoinSummary, 
 	var apiErr *APIError
 	for {
 		f, err := dec.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, frameError("sjserved: join frame stream ended without an END frame")
 		}
 		if err != nil {
@@ -156,7 +157,7 @@ func decodeWindowFrames(body io.Reader, onBatch func([]RecordOut)) (*WindowSumma
 	var apiErr *APIError
 	for {
 		f, err := dec.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, frameError("sjserved: window frame stream ended without an END frame")
 		}
 		if err != nil {
@@ -267,7 +268,7 @@ func relayFrames(body io.Reader, dataType wire.Type, onFrame func(raw []byte)) (
 	var apiErr *APIError
 	for {
 		t, raw, err := sc.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, frameError("sjserved: frame stream ended without an END frame")
 		}
 		if err != nil {

@@ -196,13 +196,14 @@ func buildCatalog(log *slog.Logger, loads, unis, tigers repeatable,
 		if err != nil {
 			return err
 		}
+		pv := rel.Pin()
 		if stripe != nil {
 			log.Info("loaded relation shard", "name", name, "stripe", stripe.String(),
-				"records", rel.Len(), "of", total, "indexed", rel.Indexed())
+				"records", pv.Len(), "of", total, "indexed", pv.Indexed())
 			return nil
 		}
-		log.Info("loaded relation", "name", name, "records", rel.Len(),
-			"indexed", rel.Indexed(), "data_bytes", rel.DataBytes(), "index_bytes", rel.IndexBytes())
+		log.Info("loaded relation", "name", name, "records", pv.Len(),
+			"indexed", pv.Indexed(), "data_bytes", pv.DataBytes(), "index_bytes", pv.IndexBytes())
 		return nil
 	}
 

@@ -40,8 +40,9 @@ func main() {
 	if err := h.BuildIndex(); err != nil {
 		log.Fatal(err)
 	}
+	rp, hp := r.Pin(), h.Pin()
 	fmt.Printf("roads: %d records, %d index pages; hydro: %d records, %d index pages\n\n",
-		r.Len(), r.IndexNodes(), h.Len(), h.IndexNodes())
+		rp.Len(), rp.IndexNodes(), hp.Len(), hp.IndexNodes())
 
 	// The shared knobs, as one-shot functional options.
 	opts := []unijoin.Option{

@@ -116,5 +116,5 @@ func (fw *FrameWriter) End() {
 // payload and CRC pass through untouched, preserving the end-to-end
 // integrity check.
 func (fw *FrameWriter) Relay(raw []byte) {
-	fw.emit(wire.Type(raw[3]), func() error { return fw.enc.WriteRaw(raw) })
+	fw.emit(wire.Type(raw[wire.OffType]), func() error { return fw.enc.WriteRaw(raw) })
 }

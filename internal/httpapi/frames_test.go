@@ -1,0 +1,142 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+
+	"unijoin/client"
+	"unijoin/internal/wire"
+)
+
+// flakyWriter is an http.ResponseWriter whose Write fails on
+// configured call numbers (1-based), simulating a client connection
+// hiccup mid-stream. The wire encoder issues exactly one Write per
+// frame, so call numbers are frame numbers.
+type flakyWriter struct {
+	buf     bytes.Buffer
+	header  http.Header
+	calls   int
+	failOn  map[int]bool
+	failAll bool
+	flushes int
+}
+
+func (w *flakyWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *flakyWriter) WriteHeader(int) {}
+
+func (w *flakyWriter) Flush() { w.flushes++ }
+
+func (w *flakyWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.failAll || w.failOn[w.calls] {
+		return 0, errors.New("connection reset by peer")
+	}
+	return w.buf.Write(p)
+}
+
+// decodeTypes decodes the accumulated stream and returns the frame
+// type sequence plus the terminal error payload, if any.
+func decodeTypes(t *testing.T, raw []byte) ([]wire.Type, *client.APIError) {
+	t.Helper()
+	dec := wire.NewDecoder(bytes.NewReader(raw))
+	var seq []wire.Type
+	var apiErr *client.APIError
+	for {
+		f, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			return seq, apiErr
+		}
+		if err != nil {
+			t.Fatalf("stream does not decode cleanly: %v", err)
+		}
+		seq = append(seq, f.Type)
+		if f.Type == wire.TypeError {
+			apiErr = new(client.APIError)
+			if err := json.Unmarshal(f.Payload, apiErr); err != nil {
+				t.Fatalf("ERROR frame payload: %v", err)
+			}
+		}
+	}
+}
+
+// A write failure after a flushed DATA frame must not derail the
+// termination protocol: the stream still carries exactly one ERROR
+// and one END, in order, and still decodes cleanly — the failed frame
+// simply never reaches the wire (frame writes are atomic: one Write
+// per frame, nothing buffered on failure).
+func TestFrameWriterMidStreamWriteFailure(t *testing.T) {
+	w := &flakyWriter{failOn: map[int]bool{2: true}}
+	counts := map[wire.Type]int64{}
+	fw := NewFrameWriter(w, func(ft wire.Type, frames, bytes int64) { counts[ft] += frames })
+	defer fw.Close()
+
+	fw.WritePairs([][2]uint32{{1, 2}}) // frame 1: delivered and flushed
+	fw.WritePairs([][2]uint32{{3, 4}}) // frame 2: write fails, swallowed
+	fw.WriteError(&client.APIError{Status: 500, Code: "internal", Message: "boom"})
+	fw.End()
+
+	seq, apiErr := decodeTypes(t, w.buf.Bytes())
+	want := []wire.Type{wire.TypePairs, wire.TypeError, wire.TypeEnd}
+	if len(seq) != len(want) {
+		t.Fatalf("frame sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("frame sequence = %v, want %v", seq, want)
+		}
+	}
+	if apiErr == nil || apiErr.Code != "internal" || apiErr.Status != 500 {
+		t.Fatalf("terminal error = %+v, want the 500/internal APIError", apiErr)
+	}
+
+	// The observe hook counts only frames that actually reached the
+	// wire: 1 PAIRS (not 2), 1 ERROR, 1 END.
+	if counts[wire.TypePairs] != 1 || counts[wire.TypeError] != 1 || counts[wire.TypeEnd] != 1 {
+		t.Fatalf("observed frame counts = %v, want pairs:1 error:1 end:1", counts)
+	}
+	// One flush per successful emit; the failed emit returns before
+	// flushing.
+	if w.flushes != 3 {
+		t.Fatalf("flushes = %d, want 3", w.flushes)
+	}
+	if got := w.Header().Get("Content-Type"); got != wire.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, wire.ContentType)
+	}
+}
+
+// A client that vanished entirely: every write fails. The writer must
+// swallow all of it without panicking, never call the observe hook,
+// and leave the stream empty.
+func TestFrameWriterDeadClient(t *testing.T) {
+	w := &flakyWriter{failAll: true}
+	observed := 0
+	fw := NewFrameWriter(w, func(wire.Type, int64, int64) { observed++ })
+	defer fw.Close()
+
+	fw.WritePairs([][2]uint32{{1, 2}})
+	fw.WriteError(&client.APIError{Status: 500, Code: "internal", Message: "boom"})
+	fw.End()
+
+	if !fw.Started() {
+		t.Fatal("Started() = false; the first emit commits the stream even if its write fails")
+	}
+	if observed != 0 {
+		t.Fatalf("observe hook called %d times for frames that never reached the wire", observed)
+	}
+	if w.buf.Len() != 0 {
+		t.Fatalf("buffer holds %d bytes, want none", w.buf.Len())
+	}
+	if w.flushes != 0 {
+		t.Fatalf("flushes = %d, want 0", w.flushes)
+	}
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FrameAlign checks the binary frame-layout invariants of the wire
+// transport (PR 8) wherever frames are built or consumed (the wire
+// package and every package importing it):
+//
+//   - payload-size arithmetic over byte slices (len(p) % n, len(p) / n,
+//     len(batch) * n) must use the shared geom.PairSize (8) and
+//     geom.RecordSize (20) constants, never the bare literals — the
+//     8-/20-byte atoms are a cross-package contract, and a literal
+//     silently goes stale if the record layout ever changes;
+//   - payload-bound comparisons must use wire.MaxPayload, not an
+//     inline 1<<20 / 1048576 expression, for the same reason;
+//   - raw frame headers must be indexed through the named offset
+//     constants (wire.OffVersion, OffType, OffLen, OffCRC,
+//     HeaderSize), not bare numeric offsets.
+//
+// geom itself (the definition site of the record layout) is exempt,
+// as are packages that never touch the wire format.
+var FrameAlign = &Analyzer{
+	Name: "framealign",
+	Doc: "frame-size arithmetic must use the shared wire/geom constants (binary transport, PR 8)\n" +
+		"Bare 8/20/1<<20 literals and numeric header offsets drift silently when the layout\n" +
+		"changes; PairSize/RecordSize/MaxPayload/Off* are the contract.",
+	Run: runFrameAlign,
+}
+
+// frameEntrySizes are the packed entry sizes whose literal spellings
+// the analyzer rejects in payload arithmetic.
+var frameEntrySizes = map[int64]string{
+	8:  "PairSize",
+	20: "RecordSize",
+}
+
+// headerOffsets are the fixed header offsets with named constants.
+var headerOffsets = map[int64]string{
+	2:  "wire.OffVersion",
+	3:  "wire.OffType",
+	4:  "wire.OffLen",
+	8:  "wire.OffCRC",
+	12: "wire.HeaderSize",
+}
+
+const maxPayloadValue = 1 << 20
+
+func runFrameAlign(pass *Pass) error {
+	if !touchesWire(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkSizeArithmetic(pass, e)
+				checkPayloadBound(pass, e)
+			case *ast.IndexExpr:
+				checkHeaderOffset(pass, e.Index, e.X)
+			case *ast.SliceExpr:
+				checkHeaderOffset(pass, e.Low, e.X)
+				checkHeaderOffset(pass, e.High, e.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// touchesWire reports whether pkg is the wire package or imports it.
+func touchesWire(pkg *types.Package) bool {
+	if pkg.Name() == "wire" {
+		return true
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Name() == "wire" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSizeArithmetic flags len/cap-based %, /, * arithmetic against
+// the bare entry-size literals.
+func checkSizeArithmetic(pass *Pass, e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.REM, token.QUO, token.MUL:
+	default:
+		return
+	}
+	lit, other := literalOperand(pass, e)
+	if lit == nil {
+		return
+	}
+	name, sized := frameEntrySizes[lit.value]
+	if !sized {
+		return
+	}
+	// Only byte-length arithmetic counts: the sibling operand must
+	// involve len or cap of a byte slice (or of the packed batch being
+	// framed). Plain integer math with 8 or 20 is not frame layout.
+	if !containsByteLen(pass, other) {
+		return
+	}
+	pass.Reportf(lit.expr.Pos(), "frame-size arithmetic with the bare literal %d; use the shared %s constant (wire.%s / geom.%s) so the packed layout stays a single source of truth",
+		lit.value, name, name, name)
+}
+
+// checkPayloadBound flags ordered comparisons against an inline
+// constant expression equal to MaxPayload.
+func checkPayloadBound(pass *Pass, e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	for _, side := range []ast.Expr{e.X, e.Y} {
+		tv, ok := pass.Info.Types[side]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		if !ok || v != maxPayloadValue {
+			continue
+		}
+		// A named constant (wire.MaxPayload itself, or a deliberately
+		// distinct cap like an NDJSON line bound) is fine; an inline
+		// literal expression is the drift hazard.
+		switch ast.Unparen(side).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			continue
+		}
+		pass.Reportf(side.Pos(), "payload bound spelled as an inline constant expression; compare against wire.MaxPayload so every decoder and encoder agrees on the cap")
+	}
+}
+
+// checkHeaderOffset flags bare numeric header offsets into raw frame
+// byte slices inside wire and the frame-relaying layers.
+func checkHeaderOffset(pass *Pass, idx ast.Expr, base ast.Expr) {
+	if idx == nil {
+		return
+	}
+	lit, ok := ast.Unparen(idx).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return
+	}
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Value == nil {
+		return
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return
+	}
+	name, known := headerOffsets[v]
+	if !known {
+		return
+	}
+	if !isByteSlice(pass, base) {
+		return
+	}
+	pass.Reportf(lit.Pos(), "raw frame bytes indexed with the bare offset %d; use %s so the header layout has one definition", v, name)
+}
+
+// literal describes a constant integer operand.
+type literalInfo struct {
+	expr  ast.Expr
+	value int64
+}
+
+// literalOperand returns the bare-literal side of a binary expression
+// and the sibling operand (nil when neither side is a bare literal).
+func literalOperand(pass *Pass, e *ast.BinaryExpr) (*literalInfo, ast.Expr) {
+	if li := bareIntLiteral(pass, e.Y); li != nil {
+		return li, e.X
+	}
+	if li := bareIntLiteral(pass, e.X); li != nil {
+		return li, e.Y
+	}
+	return nil, nil
+}
+
+// bareIntLiteral matches an integer BasicLit (not a named constant).
+func bareIntLiteral(pass *Pass, expr ast.Expr) *literalInfo {
+	lit, ok := ast.Unparen(expr).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return nil
+	}
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Value == nil {
+		return nil
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return nil
+	}
+	return &literalInfo{expr: lit, value: v}
+}
+
+// containsByteLen reports whether expr contains len(x) or cap(x)
+// applied to a []byte, or to a packed batch slice ([]Pair-like —
+// anything whose element size the frame constants describe).
+func containsByteLen(pass *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || (id.Name != "len" && id.Name != "cap") {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		t := pass.Info.TypeOf(call.Args[0])
+		if t == nil {
+			return true
+		}
+		if s, ok := t.Underlying().(*types.Slice); ok {
+			if isByteElem(s.Elem()) || isPackedBatchElem(s.Elem()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isByteSlice reports whether expr's type is []byte or [N]byte (raw
+// frame headers are fixed-size arrays on the stack).
+func isByteSlice(pass *Pass, expr ast.Expr) bool {
+	t := pass.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByteElem(u.Elem())
+	case *types.Array:
+		return isByteElem(u.Elem())
+	}
+	return false
+}
+
+func isByteElem(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isPackedBatchElem matches the element shapes the frame payloads
+// pack: geom.Pair / [2]uint32 batches and geom.Record batches.
+func isPackedBatchElem(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return u.Len() == 2
+	case *types.Struct:
+		if named, ok := t.(*types.Named); ok {
+			name := named.Obj().Name()
+			return name == "Pair" || name == "Record"
+		}
+	}
+	return false
+}

@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// labelSinkFact tags string parameters whose values end up as metric
+// label values: the parameters of the exported obs API (CounterVec
+// .With, GaugeVec.With, HistogramVec.With, EWMASet observations), and
+// — transitively, via a per-package fixpoint over call graphs — the
+// parameters of any function that forwards its own string parameter
+// into a marked sink (internal/server's observe* helpers).
+const labelSinkFact = "metriclabel.sink"
+
+// MetricLabel checks the bounded-cardinality invariant of the
+// observability layer (PR 6): every label value that reaches an
+// internal/obs counter, gauge, histogram, or EWMA set must come from
+// a bounded set — endpoint literals, shard names from static config,
+// status-code classes. A label minted from unbounded input (request
+// paths, user-supplied relation names, fmt.Sprintf of arbitrary data,
+// error text) grows a fresh time series per distinct value and slowly
+// OOMs the registry every scrape.
+//
+// The analyzer flags sink arguments that are tainted: built by
+// fmt.Sprint*/fmt.Errorf, derived from *http.Request / url.URL data,
+// or carrying err.Error() text. Values that are bounded for reasons
+// the analyzer cannot see (a name validated against the catalog
+// before use) are annotated at the call site:
+//
+//	m.ingestRecords.With(relation).Add(n) //lint:bounded relation is catalog-checked
+//
+// The annotation requires a non-empty justification.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc: "metric label values must come from bounded sets (observability registry, PR 6)\n" +
+		"Labels minted from request input, fmt.Sprintf of unbounded data, or error text\n" +
+		"explode time-series cardinality. Annotate deliberate cases //lint:bounded <why>.",
+	Run: runMetricLabel,
+}
+
+func runMetricLabel(pass *Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		exportObsSinkFacts(pass)
+		return nil
+	}
+	propagateSinkParams(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tainted := taintedLocals(pass, fd.Body)
+			checkLabelSinkCalls(pass, fd.Body, tainted)
+		}
+	}
+	return nil
+}
+
+// exportObsSinkFacts marks every string (or ...string / []string)
+// parameter of obs's exported functions and methods as a label sink.
+func exportObsSinkFacts(pass *Pass) {
+	markSig := func(fn *types.Func) {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			p := params.At(i)
+			if isStringish(p.Type()) {
+				pass.Facts.Mark(labelSinkFact, p, "metric label value")
+			}
+		}
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			markSig(o)
+		case *types.TypeName:
+			named, ok := o.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); m.Exported() {
+					markSig(m)
+				}
+			}
+		}
+	}
+}
+
+// propagateSinkParams marks, to a fixpoint, parameters of functions in
+// the current package that flow verbatim into an already-marked sink
+// parameter — so s.metrics.observeIngest(name) is checked at the
+// handler call site where the taint is visible.
+func propagateSinkParams(pass *Pass) {
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				params := paramObjects(pass, fd)
+				if len(params) == 0 {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for i, arg := range call.Args {
+						sinkParam := sinkParamFor(pass, call, i)
+						if sinkParam == nil {
+							continue
+						}
+						id, ok := ast.Unparen(arg).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := pass.Info.Uses[id]
+						if obj == nil || !params[obj] {
+							continue
+						}
+						if _, done := pass.Facts.Marked(labelSinkFact, obj); !done {
+							pass.Facts.Mark(labelSinkFact, obj, "forwarded to a metric label sink")
+							changed = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// checkLabelSinkCalls flags tainted arguments at marked sink
+// positions.
+func checkLabelSinkCalls(pass *Pass, body *ast.BlockStmt, tainted map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			if sinkParamFor(pass, call, i) == nil {
+				continue
+			}
+			if isBoundedExpr(pass, arg) {
+				continue
+			}
+			if !isTaintedExpr(pass, arg, tainted) {
+				continue
+			}
+			found, justified := pass.Annotation(call.Pos(), "bounded")
+			if found && justified {
+				continue
+			}
+			if found {
+				pass.Reportf(call.Pos(), "//lint:bounded annotation needs a justification after the marker")
+				continue
+			}
+			pass.Reportf(arg.Pos(), "metric label value derived from unbounded input; every distinct value becomes a time series — label with a bounded set, or annotate //lint:bounded <why> if the value is validated upstream")
+		}
+		return true
+	})
+}
+
+// sinkParamFor maps argument index i of call to the callee parameter
+// it binds (variadic tail collapses onto the last parameter) and
+// returns that parameter iff it is a marked label sink.
+func sinkParamFor(pass *Pass, call *ast.CallExpr, i int) *types.Var {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return nil
+	}
+	idx := i
+	if sig.Variadic() && idx >= sig.Params().Len()-1 {
+		idx = sig.Params().Len() - 1
+	}
+	if idx >= sig.Params().Len() {
+		return nil
+	}
+	p := sig.Params().At(idx)
+	if _, marked := pass.Facts.Marked(labelSinkFact, p); !marked {
+		return nil
+	}
+	return p
+}
+
+// paramObjects collects the parameter objects of fd.
+func paramObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// taintedLocals runs a small fixpoint over the body's assignments and
+// returns locals holding unbounded-input strings.
+func taintedLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		mark := func(lhs ast.Expr, rhs ast.Expr) {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || tainted[obj] {
+				return
+			}
+			if isTaintedExpr(pass, rhs, tainted) {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				if len(stmt.Lhs) == len(stmt.Rhs) {
+					for i := range stmt.Lhs {
+						mark(stmt.Lhs[i], stmt.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(stmt.Names) == len(stmt.Values) {
+					for i := range stmt.Names {
+						mark(stmt.Names[i], stmt.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// isTaintedExpr reports whether expr carries unbounded input: a
+// fmt.Sprint*/Errorf result, err.Error() text, request/URL-derived
+// data, or a tainted local.
+func isTaintedExpr(pass *Pass, expr ast.Expr, tainted map[types.Object]bool) bool {
+	res := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if res {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, e)
+			if fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "fmt":
+					switch fn.Name() {
+					case "Sprint", "Sprintf", "Sprintln", "Errorf":
+						res = true
+						return false
+					}
+				case "strconv":
+					// Numeric formatting is bounded enough (status codes,
+					// shard counts); do not descend into its argument.
+					return false
+				}
+			}
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" && len(e.Args) == 0 && isErrorExpr(pass, sel.X) {
+				res = true
+				return false
+			}
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			if obj == nil {
+				return true
+			}
+			if tainted[obj] || isRequestDerivedType(obj.Type()) {
+				res = true
+				return false
+			}
+		}
+		return true
+	})
+	return res
+}
+
+// isBoundedExpr matches values that are bounded by construction:
+// constants and strconv formatting of numbers.
+func isBoundedExpr(pass *Pass, expr ast.Expr) bool {
+	if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := ast.Unparen(expr).(*ast.CallExpr); ok {
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "strconv" {
+			return true
+		}
+	}
+	return false
+}
+
+// isRequestDerivedType matches *http.Request / http.Request and
+// url.URL — the roots of request-controlled data.
+func isRequestDerivedType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "net/http.Request", "net/url.URL", "net/http.Header":
+		return true
+	}
+	return false
+}
+
+// isStringish matches string, []string, and ...string parameter
+// types.
+func isStringish(t types.Type) bool {
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		t = s.Elem()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// epochReadFact tags methods that read a relation's *current* epoch
+// state: the snapshot()/Current() primitives themselves, and every
+// method that reaches one on its own receiver (Relation.Len, .MBR,
+// .Indexed, ... — the accessors of unijoin.go). The fact is exported
+// while the defining package is analyzed and consumed by its
+// importers' passes.
+const epochReadFact = "snapshotpin.epochRead"
+
+// epochPrimitives are the method names that read the live epoch
+// pointer directly. The convention is repo-wide: ingest.Log publishes
+// through Current()/Epoch(), and unijoin.Relation pins through
+// snapshot().
+var epochPrimitives = map[string]bool{
+	"snapshot": true,
+	"Current":  true,
+	"Epoch":    true,
+}
+
+// SnapshotPin checks the epoch-snapshot pinning invariant of the live
+// ingestion layer (PR 7): a relation's current version must be pinned
+// at most once per query path. Two reads of the live epoch on the
+// same receiver inside one function can straddle a concurrent Append
+// or Compact and observe two different epochs — the "epoch tear" the
+// Version/Log design exists to prevent. The analyzer counts direct
+// calls to the snapshot()/Current()/Epoch() primitives and, through
+// cross-package facts, calls to any method that transitively reads
+// the live epoch on its receiver (Relation.Len, .MBR, .Indexed, ...).
+//
+// A function that reads the live epoch of one receiver more than once
+// — or inside a loop whose receiver does not change per iteration —
+// is flagged. Fix by pinning once (Relation.Pin returns a consistent
+// single-epoch view) or, when the tear is deliberate and harmless,
+// annotate the extra read with a justification:
+//
+//	n := rel.Len() //lint:pinned stats are advisory; tear is fine
+//
+// The annotation requires a non-empty justification. Packages under
+// internal/ingest (the epoch machinery itself) are exempt.
+var SnapshotPin = &Analyzer{
+	Name: "snapshotpin",
+	Doc: "at most one live-epoch read per relation per function (epoch-snapshot pinning, PR 7)\n" +
+		"Two snapshot()/Current()/accessor reads on one receiver can straddle a concurrent\n" +
+		"append and tear across epochs. Pin once (Relation.Pin) or annotate //lint:pinned <why>.",
+	Run: runSnapshotPin,
+}
+
+func runSnapshotPin(pass *Pass) error {
+	exportEpochReadFacts(pass)
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/ingest") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					// Nested function literals are analyzed as part of
+					// the enclosing body: a closure re-reading an outer
+					// receiver's epoch is exactly the tear to catch.
+					checkFuncEpochReads(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				ast.Inspect(d, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkFuncEpochReads(pass, lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// exportEpochReadFacts marks, for the current package, every method
+// whose body reads the live epoch on its own receiver — directly via
+// a primitive, or via an already-marked same-package method — so
+// downstream packages see accessors like Relation.Len for what they
+// are. Iterates to a fixpoint for accessor-calls-accessor chains.
+func exportEpochReadFacts(pass *Pass) {
+	type method struct {
+		decl *ast.FuncDecl
+		obj  types.Object
+		recv *ast.Ident
+	}
+	var methods []method
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			var recv *ast.Ident
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recv = names[0]
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil || recv == nil {
+				continue
+			}
+			methods = append(methods, method{decl: fd, obj: obj, recv: recv})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if _, done := pass.Facts.Marked(epochReadFact, m.obj); done {
+				continue
+			}
+			recvObj := pass.Info.Defs[m.recv]
+			if recvObj == nil {
+				continue
+			}
+			reads := false
+			ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+				if reads {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// The call must be rooted at the receiver (r.snapshot(),
+				// r.log.Current(), r.Len()...).
+				root := rootIdent(sel.X)
+				if root == nil || pass.Info.Uses[root] != recvObj {
+					return true
+				}
+				if epochPrimitives[sel.Sel.Name] {
+					reads = true
+					return false
+				}
+				if callee := pass.Info.Uses[sel.Sel]; callee != nil {
+					if _, ok := pass.Facts.Marked(epochReadFact, callee); ok {
+						reads = true
+						return false
+					}
+				}
+				return true
+			})
+			if reads {
+				pass.Facts.Mark(epochReadFact, m.obj, "reads the live epoch")
+				changed = true
+			}
+		}
+	}
+}
+
+// epochReadCall matches a call expression that reads the live epoch
+// and returns its receiver expression.
+func epochReadCall(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	if epochPrimitives[sel.Sel.Name] {
+		// Primitives are method calls; selecting a field or a
+		// package-level function named Current is not a read.
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return sel.X, true
+		}
+		return nil, false
+	}
+	callee := pass.Info.Uses[sel.Sel]
+	if callee == nil {
+		return nil, false
+	}
+	if _, marked := pass.Facts.Marked(epochReadFact, callee); marked {
+		return sel.X, true
+	}
+	return nil, false
+}
+
+// checkFuncEpochReads flags live-epoch reads that can tear within one
+// function body: a second read on the same receiver, or a read inside
+// a loop whose receiver is loop-invariant.
+func checkFuncEpochReads(pass *Pass, body *ast.BlockStmt) {
+	// Methods that are themselves epoch accessors (marked) with a
+	// single read are the definition sites — they are checked like any
+	// other function; a single read never fires.
+	type readSite struct {
+		call *ast.CallExpr
+		recv ast.Expr
+	}
+	reads := map[string][]readSite{}
+	var walk func(n ast.Node, enclosingLoops []ast.Node)
+	walk = func(n ast.Node, enclosingLoops []ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch stmt := m.(type) {
+			case *ast.ForStmt:
+				if m == n {
+					return true
+				}
+				walk(stmt, append(enclosingLoops, stmt))
+				return false
+			case *ast.RangeStmt:
+				if m == n {
+					return true
+				}
+				walk(stmt, append(enclosingLoops, stmt))
+				return false
+			case *ast.CallExpr:
+				recv, ok := epochReadCall(pass, stmt)
+				if !ok {
+					return true
+				}
+				key := receiverKey(recv)
+				reads[key] = append(reads[key], readSite{call: stmt, recv: recv})
+				if len(enclosingLoops) > 0 && !receiverVariesPerIteration(pass, recv, enclosingLoops[len(enclosingLoops)-1]) {
+					reportEpochRead(pass, stmt,
+						"live-epoch read inside a loop runs once per iteration and can observe a different epoch each time")
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+	for _, sites := range reads {
+		if len(sites) < 2 {
+			continue
+		}
+		for _, site := range sites[1:] {
+			reportEpochRead(pass, site.call,
+				"second live-epoch read on %q in one function can observe a different epoch than the first; pin once (e.g. Relation.Pin) and read the pinned view",
+				receiverKey(site.recv))
+		}
+	}
+}
+
+// reportEpochRead reports unless the site carries a justified
+// //lint:pinned annotation; a bare annotation is itself flagged.
+func reportEpochRead(pass *Pass, call *ast.CallExpr, format string, args ...any) {
+	found, justified := pass.Annotation(call.Pos(), "pinned")
+	if found && justified {
+		return
+	}
+	if found {
+		pass.Reportf(call.Pos(), "//lint:pinned annotation needs a justification after the marker")
+		return
+	}
+	pass.Reportf(call.Pos(), format, args...)
+}
+
+// receiverVariesPerIteration reports whether the receiver expression
+// yields a fresh value each iteration — rooted at a variable bound
+// inside the loop (a range variable or a loop-body definition), or
+// containing a call (ws.Query(a, b).Run(...) builds a new query per
+// iteration, and one pin per query is exactly right).
+func receiverVariesPerIteration(pass *Pass, recv ast.Expr, loop ast.Node) bool {
+	fresh := false
+	ast.Inspect(recv, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			fresh = true
+			return false
+		}
+		return true
+	})
+	if fresh {
+		return true
+	}
+	root := rootIdent(recv)
+	if root == nil {
+		return false
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	return pos >= loop.Pos() && pos <= loop.End()
+}

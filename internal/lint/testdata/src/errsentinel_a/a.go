@@ -1,0 +1,77 @@
+// Golden cases for the errsentinel analyzer.
+package errsentinel_a
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+var ErrThing = errors.New("thing")
+
+type myError struct{ msg string }
+
+func (e *myError) Error() string { return e.msg }
+
+// Identity comparison misses wrapped errors.
+func compare(err error) bool {
+	return err == io.EOF // want `compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrThing // want `compared with !=`
+}
+
+func compareOK(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+func nilOK(err error) bool {
+	return err == nil
+}
+
+// Switching on an error value is identity comparison per case.
+func sw(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrThing: // want `switch on an error value`
+		return 1
+	}
+	return 2
+}
+
+// Matching on the message text couples control flow to a string.
+func stringMatch(err error) bool {
+	return strings.Contains(err.Error(), "thing") // want `err.Error\(\) text`
+}
+
+func prefixMatch(err error) bool {
+	return strings.HasPrefix(err.Error(), "wire:") // want `err.Error\(\) text`
+}
+
+// Direct type assertions miss wrapped errors.
+func assert(err error) bool {
+	_, ok := err.(*myError) // want `errors.As`
+	return ok
+}
+
+func assertOK(err error) bool {
+	var me *myError
+	return errors.As(err, &me)
+}
+
+// Type switches are not flagged (their assert has no single type).
+func typeSwitchOK(err error) bool {
+	switch err.(type) {
+	case *myError:
+		return true
+	}
+	return false
+}
+
+// Is methods are the errors.Is protocol: identity comparison is the
+// specified behavior there.
+func (e *myError) Is(target error) bool {
+	return target == ErrThing
+}

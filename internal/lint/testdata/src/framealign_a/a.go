@@ -1,0 +1,46 @@
+// Golden cases for the framealign analyzer.
+package framealign_a
+
+import "wire"
+
+// Payload arithmetic with the bare entry-size literals drifts.
+func pad(p []byte) int {
+	if len(p)%8 != 0 { // want `bare literal 8`
+		return 0
+	}
+	return len(p) / wire.PairSize
+}
+
+func records(p []byte) int {
+	return len(p) / 20 // want `bare literal 20`
+}
+
+func sized(n int) int {
+	return n * 8 // plain integer math, not frame layout
+}
+
+// Payload bounds must be the named constant.
+func bound(p []byte) bool {
+	return len(p) > 1<<20 // want `inline constant expression`
+}
+
+func boundOK(p []byte) bool {
+	return len(p) > wire.MaxPayload
+}
+
+// Header offsets must be the named constants, on slices and arrays.
+func headerType(raw []byte) byte {
+	return raw[3] // want `bare offset 3`
+}
+
+func headerCRC(hdr [wire.HeaderSize]byte) []byte {
+	return hdr[8:] // want `bare offset 8`
+}
+
+func headerOK(raw []byte) byte {
+	return raw[wire.OffType]
+}
+
+func nonFrameIndex(xs []int) int {
+	return xs[3] // not a byte buffer
+}

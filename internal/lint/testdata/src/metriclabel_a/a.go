@@ -1,0 +1,54 @@
+// Golden cases for the metriclabel analyzer.
+package metriclabel_a
+
+import (
+	"fmt"
+	"strconv"
+
+	"obs"
+)
+
+var requests = obs.RegisterCounterVec("requests", "endpoint", "status")
+
+// Literals and numeric formatting are bounded.
+func literalOK(status int) {
+	requests.With("join", strconv.Itoa(status)).Inc()
+}
+
+// fmt.Sprintf of arbitrary input mints unbounded label values.
+func sprintf(user string) {
+	requests.With(fmt.Sprintf("user-%s", user), "200").Inc() // want `unbounded input`
+}
+
+// Taint flows through locals.
+func taintedLocal(user string) {
+	label := fmt.Sprintf("u-%s", user)
+	requests.With(label, "200").Inc() // want `unbounded input`
+}
+
+// Error text is unbounded.
+func errorText(err error) {
+	requests.With(err.Error(), "500").Inc() // want `unbounded input`
+}
+
+// A justified annotation silences the finding.
+func annotated(err error) {
+	//lint:bounded error classes are mapped to a fixed set upstream
+	requests.With(err.Error(), "500").Inc()
+}
+
+// A bare marker is itself a finding.
+func bareMarker(err error) {
+	//lint:bounded
+	requests.With(err.Error(), "500").Inc() // want `needs a justification`
+}
+
+// Sink-ness propagates through forwarding helpers: the taint is
+// flagged where it enters, at the caller.
+func observe(endpoint string, n int64) {
+	requests.With(endpoint, "200").Add(n)
+}
+
+func caller(user string) {
+	observe(fmt.Sprintf("u-%s", user), 1) // want `unbounded input`
+}

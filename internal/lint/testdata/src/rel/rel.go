@@ -1,0 +1,29 @@
+// Package rel mirrors the epoch-snapshot shape of unijoin.Relation:
+// Current() is the live-epoch primitive, and the exported accessors
+// reach it through snapshot() on their own receiver — exactly the
+// fact chain the snapshotpin analyzer exports for downstream
+// packages.
+package rel
+
+type Version struct {
+	N     int64
+	Epoch int64
+}
+
+type Log struct{ v *Version }
+
+func (l *Log) Current() *Version { return l.v }
+
+type Relation struct {
+	log *Log
+}
+
+func New() *Relation { return &Relation{log: &Log{v: &Version{}}} }
+
+func (r *Relation) snapshot() *Version { return r.log.Current() }
+
+func (r *Relation) Len() int64 { return r.snapshot().N }
+
+func (r *Relation) Epoch() int64 { return r.snapshot().Epoch }
+
+func (r *Relation) Indexed() bool { return r.snapshot().N > 0 }

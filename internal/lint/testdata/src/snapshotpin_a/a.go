@@ -1,0 +1,71 @@
+// Golden cases for the snapshotpin analyzer.
+package snapshotpin_a
+
+import "rel"
+
+// A single read per function is the pinned pattern.
+func single(r *rel.Relation) int64 {
+	return r.Len()
+}
+
+// Two reads on one receiver can straddle a concurrent append.
+func double(r *rel.Relation) (int64, bool) {
+	n := r.Len()
+	ok := r.Indexed() // want `second live-epoch read`
+	return n, ok
+}
+
+// Distinct receivers are distinct relations: one pin each is right.
+func twoRelations(a, b *rel.Relation) (int64, int64) {
+	return a.Len(), b.Len()
+}
+
+// The primitive itself counts, also through a field chain.
+func primitiveTwice(r *rel.Relation) (int64, int64) {
+	a := r.Epoch()
+	b := r.Epoch() // want `second live-epoch read`
+	return a, b
+}
+
+// A justified annotation silences the finding.
+func annotated(r *rel.Relation) (int64, int64) {
+	a := r.Len()
+	b := r.Epoch() //lint:pinned advisory stats; a tear only skews a log line
+	return a, b
+}
+
+// A bare marker is itself a finding.
+func bareMarker(r *rel.Relation) (int64, int64) {
+	a := r.Len()
+	//lint:pinned
+	b := r.Epoch() // want `needs a justification`
+	return a, b
+}
+
+// A loop-invariant receiver reads a possibly different epoch each
+// iteration.
+func inLoop(r *rel.Relation, xs []int) int64 {
+	var total int64
+	for range xs {
+		total += r.Len() // want `inside a loop`
+	}
+	return total
+}
+
+// A range variable is a fresh relation per iteration.
+func loopVariant(rels []*rel.Relation) int64 {
+	var total int64
+	for _, rr := range rels {
+		total += rr.Len()
+	}
+	return total
+}
+
+// A receiver built by a call is a fresh value per iteration.
+func freshPerIteration(n int) int64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		total += rel.New().Len()
+	}
+	return total
+}

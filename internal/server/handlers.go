@@ -249,7 +249,10 @@ func (l *xloLookup) get(id uint32) (unijoin.Coord, bool) {
 // repeated Drop+Load cycles on a long-lived embedded server cannot
 // accumulate orphaned tables.
 func (s *Server) xloTable(ctx context.Context, rel *unijoin.Relation) (*xloLookup, *client.APIError) {
-	epoch := rel.Epoch()
+	// One pin serves the epoch stamp, the size hint, and the scan, so
+	// the cached table can never mix epochs.
+	pv := rel.Pin()
+	epoch := pv.Epoch()
 	if v, ok := s.xlo.Load(rel); ok {
 		if t := v.(*xloLookup); t.epoch == epoch {
 			return t, nil
@@ -266,10 +269,10 @@ func (s *Server) xloTable(ctx context.Context, rel *unijoin.Relation) (*xloLooku
 		id  uint32
 		xlo unijoin.Coord
 	}
-	entries := make([]entry, 0, rel.Len())
+	entries := make([]entry, 0, pv.Len())
 	maxID := uint32(0)
-	if mbr := rel.MBR(); mbr.Valid() {
-		if _, err := rel.WindowQuery(ctx, mbr, func(rec unijoin.Record) {
+	if mbr := pv.MBR(); mbr.Valid() {
+		if _, err := pv.WindowQuery(ctx, mbr, func(rec unijoin.Record) {
 			entries = append(entries, entry{rec.ID, rec.Rect.XLo})
 			if rec.ID > maxID {
 				maxID = rec.ID
@@ -316,6 +319,9 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestContext(r, req.TimeoutMillis)
 	defer cancel()
+	// Pin once: the scan and the summary's Indexed field must describe
+	// the same epoch.
+	pv := rel.Pin()
 
 	// In stripe mode only records whose left edge falls in the
 	// stripe are reported — each record is owned by exactly one
@@ -371,7 +377,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	n, err := rel.WindowQuery(ctx, toRect(*req.Window), emit)
+	n, err := pv.WindowQuery(ctx, toRect(*req.Window), emit)
 	if err != nil {
 		if binary {
 			s.finishErrorFrames(fs, err)
@@ -389,7 +395,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	sum := &client.WindowSummary{
 		Relation:      req.Relation,
 		Records:       n,
-		Indexed:       rel.Indexed(),
+		Indexed:       pv.Indexed(),
 		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	if binary {
@@ -428,14 +434,15 @@ func joinSummary(req client.JoinRequest, alg unijoin.Algorithm, left, right *uni
 // empty relation's MBR is the invalid ±Inf rectangle, which JSON
 // cannot carry — it is reported as the zero rectangle instead.
 func relationInfo(name string, rel *unijoin.Relation) client.RelationInfo {
+	pv := rel.Pin()
 	info := client.RelationInfo{
 		Name:       name,
-		Records:    rel.Len(),
-		Indexed:    rel.Indexed(),
-		DataBytes:  rel.DataBytes(),
-		IndexBytes: rel.IndexBytes(),
+		Records:    pv.Len(),
+		Indexed:    pv.Indexed(),
+		DataBytes:  pv.DataBytes(),
+		IndexBytes: pv.IndexBytes(),
 	}
-	if mbr := rel.MBR(); mbr.Valid() {
+	if mbr := pv.MBR(); mbr.Valid() {
 		info.MBR = fromRect(mbr)
 	}
 	return info

@@ -63,13 +63,15 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, errorFor(aerr))
 		return
 	}
-	s.metrics.observeIngest(name, int64(res.Appended), time.Since(start).Seconds(), res.Compacted, rel.DeltaRecords())
+	delta := rel.DeltaRecords()
+	//lint:bounded name is catalog-validated above; cardinality is the relation count
+	s.metrics.observeIngest(name, int64(res.Appended), time.Since(start).Seconds(), res.Compacted, delta)
 	httpapi.WriteJSON(w, client.AppendSummary{
 		Relation:     name,
 		Appended:     int64(res.Appended),
 		Records:      res.Total,
 		Epoch:        res.Epoch,
-		DeltaRecords: rel.DeltaRecords(),
+		DeltaRecords: delta,
 		Compacted:    res.Compacted,
 	})
 }

@@ -15,6 +15,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -181,7 +182,7 @@ func (r *Reader[T]) fill() error {
 	}
 	r.buf = r.buf[:r.end+int(want)]
 	n, err := r.f.ReadAt(r.buf[r.end:r.end+int(want)], r.off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return err
 	}
 	if int64(n) != want {

@@ -35,14 +35,14 @@ func parseHeader(hdr []byte) (Type, int, error) {
 	if hdr[0] != Magic0 || hdr[1] != Magic1 {
 		return 0, 0, ErrBadMagic
 	}
-	if hdr[2] != Version {
-		return 0, 0, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, hdr[2], Version)
+	if hdr[OffVersion] != Version {
+		return 0, 0, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, hdr[OffVersion], Version)
 	}
-	t := Type(hdr[3])
+	t := Type(hdr[OffType])
 	if !t.valid() {
-		return 0, 0, fmt.Errorf("%w: %d", ErrBadType, hdr[3])
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadType, hdr[OffType])
 	}
-	n := binary.LittleEndian.Uint32(hdr[4:])
+	n := binary.LittleEndian.Uint32(hdr[OffLen:])
 	if n > MaxPayload {
 		return 0, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
@@ -107,7 +107,7 @@ func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
 func (d *Decoder) Next() (Frame, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return Frame{}, io.EOF
 		}
 		return Frame{}, fmt.Errorf("%w: mid-header: %v", ErrTruncated, err)
@@ -125,7 +125,7 @@ func (d *Decoder) Next() (Frame, error) {
 	if _, err := io.ReadFull(d.r, d.buf); err != nil {
 		return Frame{}, fmt.Errorf("%w: mid-payload: %v", ErrTruncated, err)
 	}
-	if got, want := crc32.ChecksumIEEE(d.buf), binary.LittleEndian.Uint32(hdr[8:]); got != want {
+	if got, want := crc32.ChecksumIEEE(d.buf), binary.LittleEndian.Uint32(hdr[OffCRC:]); got != want {
 		return Frame{}, fmt.Errorf("%w: got %08x, header says %08x", ErrChecksum, got, want)
 	}
 	return Frame{Type: t, Payload: d.buf}, nil
@@ -155,7 +155,7 @@ func (s *Scanner) Next() (Type, []byte, error) {
 	}
 	s.buf = s.buf[:HeaderSize]
 	if _, err := io.ReadFull(s.r, s.buf); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return 0, nil, io.EOF
 		}
 		return 0, nil, fmt.Errorf("%w: mid-header: %v", ErrTruncated, err)
@@ -183,7 +183,7 @@ func Verify(raw []byte) error {
 	if len(raw) < HeaderSize {
 		return ErrTruncated
 	}
-	if got, want := crc32.ChecksumIEEE(raw[HeaderSize:]), binary.LittleEndian.Uint32(raw[8:]); got != want {
+	if got, want := crc32.ChecksumIEEE(raw[HeaderSize:]), binary.LittleEndian.Uint32(raw[OffCRC:]); got != want {
 		return fmt.Errorf("%w: got %08x, header says %08x", ErrChecksum, got, want)
 	}
 	return nil

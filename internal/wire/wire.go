@@ -22,6 +22,14 @@ const (
 	Version = 1
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 12
+	// Header field offsets: magic (2 bytes), version, type, payload
+	// length (uint32 LE), payload CRC32 (uint32 LE). Indexing raw
+	// header bytes goes through these so the layout has one
+	// definition (the framealign analyzer enforces it).
+	OffVersion = 2
+	OffType    = 3
+	OffLen     = 4
+	OffCRC     = 8
 	// MaxPayload caps one frame's payload. A decoder rejects larger
 	// length fields before allocating anything.
 	MaxPayload = 1 << 20
@@ -91,10 +99,10 @@ func PutHeader(dst []byte, t Type, payload []byte) {
 	_ = dst[HeaderSize-1]
 	dst[0] = Magic0
 	dst[1] = Magic1
-	dst[2] = Version
-	dst[3] = byte(t)
-	binary.LittleEndian.PutUint32(dst[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(dst[8:], crc32.ChecksumIEEE(payload))
+	dst[OffVersion] = Version
+	dst[OffType] = byte(t)
+	binary.LittleEndian.PutUint32(dst[OffLen:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[OffCRC:], crc32.ChecksumIEEE(payload))
 }
 
 // AppendFrame appends one whole frame (header + payload) to dst and
@@ -167,8 +175,7 @@ func (e *Encoder) WritePairs(pairs [][2]uint32) error {
 		buf = append(buf, hdr[:]...) // reserve; filled after packing
 		for _, p := range pairs[:n] {
 			var cell [PairSize]byte
-			binary.LittleEndian.PutUint32(cell[0:], p[0])
-			binary.LittleEndian.PutUint32(cell[4:], p[1])
+			geom.EncodePair(cell[:], geom.Pair{Left: p[0], Right: p[1]})
 			buf = append(buf, cell[:]...)
 		}
 		PutHeader(buf[:HeaderSize], TypePairs, buf[HeaderSize:])

@@ -1,0 +1,7 @@
+module unijoin/tools
+
+go 1.24
+
+require unijoin v0.0.0
+
+replace unijoin => ../

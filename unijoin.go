@@ -380,6 +380,63 @@ func (r *Relation) Epoch() int64 { return r.log.Epoch() }
 // serving stats expose.
 func (r *Relation) DeltaRecords() int64 { return r.snapshot().Delta() }
 
+// PinnedView is one relation's state pinned at a single epoch: every
+// accessor answers from the same immutable version, so a multi-field
+// summary (count + MBR + index stats) can never tear across a
+// concurrent Append or Compact. Obtain one with Relation.Pin. A view
+// stays valid indefinitely — versions are immutable — but goes stale
+// as new epochs publish; pin fresh per request, not per process.
+type PinnedView struct {
+	name string
+	v    *ingest.Version
+}
+
+// Pin reads the relation's current version exactly once and returns a
+// consistent view of it. Use it wherever more than one property of
+// the same relation is reported together: each direct accessor call
+// (rel.Len(), then rel.MBR()) re-reads the live epoch, and two such
+// reads can straddle a concurrent Append and mix epochs.
+func (r *Relation) Pin() PinnedView { return PinnedView{name: r.name, v: r.snapshot()} }
+
+// Name returns the relation's label.
+func (p PinnedView) Name() string { return p.name }
+
+// Epoch returns the pinned epoch.
+func (p PinnedView) Epoch() int64 { return p.v.Epoch }
+
+// Len returns the number of records at the pinned epoch.
+func (p PinnedView) Len() int64 { return p.v.N }
+
+// MBR returns the bounding rectangle at the pinned epoch.
+func (p PinnedView) MBR() Rect { return p.v.MBR }
+
+// Indexed reports whether the pinned version carries an R-tree.
+func (p PinnedView) Indexed() bool { return p.v.Tree != nil }
+
+// DataBytes returns the record-stream size at the pinned epoch.
+func (p PinnedView) DataBytes() int64 { return p.v.File.Size() }
+
+// IndexBytes returns the R-tree's on-disk size at the pinned epoch
+// (0 if not built).
+func (p PinnedView) IndexBytes() int64 {
+	if t := p.v.Tree; t != nil {
+		return t.SizeBytes()
+	}
+	return 0
+}
+
+// IndexNodes returns the R-tree page count at the pinned epoch (0 if
+// not built).
+func (p PinnedView) IndexNodes() int {
+	if t := p.v.Tree; t != nil {
+		return t.NumNodes()
+	}
+	return 0
+}
+
+// DeltaRecords returns the unfolded append delta at the pinned epoch.
+func (p PinnedView) DeltaRecords() int64 { return p.v.Delta() }
+
 // Compactions returns how many delta compactions the relation has
 // run (automatic and explicit).
 func (r *Relation) Compactions() int64 { return r.log.Compactions() }

@@ -6,6 +6,7 @@ import (
 
 	"unijoin/internal/core"
 	"unijoin/internal/geom"
+	"unijoin/internal/ingest"
 	"unijoin/internal/iosim"
 	"unijoin/internal/rtree"
 	"unijoin/internal/stream"
@@ -37,7 +38,25 @@ func (r *Relation) WindowQuery(ctx context.Context, win Rect, emit func(Record))
 	}
 	// Pin the version once: the scan or traversal below runs wholly
 	// against it, so concurrent appends are invisible to this query.
-	v := r.snapshot()
+	return windowQueryVersion(ctx, r.snapshot(), win, emit)
+}
+
+// WindowQuery is Relation.WindowQuery answered from the pinned
+// version, so a handler can report the window result and the
+// relation's properties from one epoch.
+func (p PinnedView) WindowQuery(ctx context.Context, win Rect, emit func(Record)) (int64, error) {
+	if p.v == nil {
+		return 0, fmt.Errorf("%w: window query", ErrNilRelation)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return windowQueryVersion(ctx, p.v, win, emit)
+}
+
+// windowQueryVersion runs the window selection against one pinned
+// version.
+func windowQueryVersion(ctx context.Context, v *ingest.Version, win Rect, emit func(Record)) (int64, error) {
 	if !win.Valid() || !v.MBR.Valid() || !win.Intersects(v.MBR) {
 		return 0, nil
 	}
