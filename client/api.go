@@ -87,6 +87,55 @@ type JoinSummary struct {
 	// Trace is the per-phase breakdown, present only when the request
 	// set Trace.
 	Trace *PhaseTrace `json:"trace,omitempty"`
+	// Spans is the request's span tree, present only when the request
+	// set Trace: a direct server returns its server.join tree; a
+	// router returns its router.join root with one scatter child per
+	// shard, each carrying that shard's full tree. The same tree is
+	// retrievable later from GET /v1/traces/{request-id}.
+	Spans *Span `json:"spans,omitempty"`
+}
+
+// Span is one node of a trace tree (GET /v1/traces/{id}, and the
+// summary's Spans field when a request asked for a trace).
+type Span struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// StartMillis is the span's offset from its tree's root start — a
+	// shard's subtree grafted under a router's scatter span is rebased
+	// onto the router's clock, so offsets nest consistently within one
+	// tree even across processes.
+	StartMillis    float64           `json:"start_ms"`
+	DurationMillis float64           `json:"duration_ms"`
+	Attrs          map[string]string `json:"attrs,omitempty"`
+	Children       []*Span           `json:"children,omitempty"`
+}
+
+// TraceSummary is one row of GET /v1/traces: enough to pick a trace
+// from the recent window without fetching every tree.
+type TraceSummary struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Name is the root span's name (router.join, server.window, ...).
+	Name string `json:"name"`
+	// Start is the root span's wall-clock start, RFC 3339 with
+	// nanoseconds.
+	Start          string            `json:"start"`
+	DurationMillis float64           `json:"duration_ms"`
+	Spans          int               `json:"spans"`
+	Attrs          map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceDetail is the full tree behind GET /v1/traces/{id}.
+type TraceDetail struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// ParentSpan links a shard's trace to the router scatter span that
+	// caused it (the X-Parent-Span the router sent); absent for
+	// requests that arrived directly.
+	ParentSpan     string  `json:"parent_span,omitempty"`
+	Start          string  `json:"start"`
+	DurationMillis float64 `json:"duration_ms"`
+	Root           *Span   `json:"root"`
 }
 
 // WindowRequest asks for the records of one relation intersecting a
@@ -240,6 +289,31 @@ type Stats struct {
 	// combining the shard's own counters with the router's view of its
 	// scatter latency and error rate.
 	ShardStats []ShardStat `json:"shard_stats,omitempty"`
+	// Workload is the query-workload recorder's snapshot: where query
+	// windows land on the x-axis and which (relation, algorithm)
+	// combinations traffic runs — the input a rolling rebalance and
+	// the auto planner consume. A router sums it across shards.
+	Workload *WorkloadStats `json:"workload,omitempty"`
+}
+
+// WorkloadStats is the wire form of the query-workload recorder: a
+// fixed-bucket histogram of query-window x-intervals over [XLo, XHi)
+// (Buckets[i] counts windows overlapping stripe i), plus query counts
+// by relation and algorithm. A router sums all counts across its
+// shards; every shard of one fleet records over the same range and
+// bucket count, so the merge is index-wise.
+type WorkloadStats struct {
+	XLo     float64 `json:"xlo"`
+	XHi     float64 `json:"xhi"`
+	Buckets []int64 `json:"buckets"`
+	// Windowed and Unwindowed split queries by whether they carried a
+	// window; only windowed queries land in Buckets, so full scans
+	// don't drown the locality signal.
+	Windowed   int64 `json:"windowed"`
+	Unwindowed int64 `json:"unwindowed"`
+	// Queries maps relation → algorithm → accepted query count
+	// (window queries count under algorithm "window").
+	Queries map[string]map[string]int64 `json:"queries,omitempty"`
 }
 
 // ShardStat is a router's per-shard health line: the shard's

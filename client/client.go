@@ -361,6 +361,9 @@ func (c *Client) postStreamAccept(ctx context.Context, path string, in any, acce
 	if id := RequestIDFrom(ctx); id != "" {
 		req.Header.Set(requestIDHeader, id)
 	}
+	if id := ParentSpanFrom(ctx); id != "" {
+		req.Header.Set(parentSpanHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,14 @@
 //	    -left L -right R [-alg A] [-window x1,y1,x2,y2] [-count] [-trace]
 //	sjq [global flags] window -relation R -window x1,y1,x2,y2 [-count]
 //	sjq [global flags] stats
+//	sjq [global flags] traces [-n 20] [-id request-id]
+//
+// traces lists the service's recent request traces (GET /v1/traces)
+// as a table, or with -id pretty-prints one trace's span tree (GET
+// /v1/traces/{id}) with indentation showing the hierarchy and
+// millisecond-aligned offset/duration columns — against a router the
+// tree shows every scatter leg with the shard's own phases grafted
+// underneath.
 //
 // join and window consume the full result stream, counting streamed
 // pairs or records, and print one JSON object to stdout:
@@ -78,8 +86,10 @@ func main() {
 		runWindow(ctx, cl, args)
 	case "stats":
 		runStats(ctx, cl)
+	case "traces":
+		runTraces(ctx, cl, args)
 	default:
-		fatal(fmt.Errorf("unknown command %q (want join, window, or stats)", cmd))
+		fatal(fmt.Errorf("unknown command %q (want join, window, stats, or traces)", cmd))
 	}
 }
 

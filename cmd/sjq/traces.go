@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"unijoin/client"
+)
+
+// runTraces serves the traces subcommand: a table of recent traces,
+// or one trace's span tree when -id names it.
+func runTraces(ctx context.Context, cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	var (
+		n  = fs.Int("n", 20, "how many recent traces to list")
+		id = fs.String("id", "", "print this trace's full span tree instead of the listing")
+	)
+	fs.Parse(args)
+	if *id != "" {
+		t, err := cl.TraceByID(ctx, *id)
+		if err != nil {
+			fatal(err)
+		}
+		printTrace(t)
+		return
+	}
+	if *n <= 0 {
+		fatal(errors.New("traces: -n must be positive"))
+	}
+	sums, err := cl.Traces(ctx, *n)
+	if err != nil {
+		fatal(err)
+	}
+	if len(sums) == 0 {
+		fmt.Println("no traces recorded")
+		return
+	}
+	fmt.Printf("%-20s %-8s %-16s %10s %6s  %s\n", "ID", "KIND", "NAME", "MS", "SPANS", "START")
+	for _, s := range sums {
+		fmt.Printf("%-20s %-8s %-16s %10.3f %6d  %s\n",
+			s.ID, s.Kind, s.Name, s.DurationMillis, s.Spans, s.Start)
+	}
+}
+
+// printTrace renders one span tree, depth as indentation, with the
+// offset-from-root and duration columns right-aligned so a scan down
+// the page reads as a timeline.
+func printTrace(t *client.TraceDetail) {
+	fmt.Printf("trace %s  kind=%s  start=%s  %.3fms", t.ID, t.Kind, t.Start, t.DurationMillis)
+	if t.ParentSpan != "" {
+		fmt.Printf("  parent-span=%s", t.ParentSpan)
+	}
+	fmt.Println()
+	printSpan(t.Root, 0)
+}
+
+func printSpan(s *client.Span, depth int) {
+	attrs := ""
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+s.Attrs[k])
+		}
+		attrs = "  {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Fprintf(os.Stdout, "%10.3f %10.3fms  %s%s [%s]%s\n",
+		s.StartMillis, s.DurationMillis,
+		strings.Repeat("  ", depth), s.Name, s.ID, attrs)
+	for _, c := range s.Children {
+		printSpan(c, depth+1)
+	}
+}

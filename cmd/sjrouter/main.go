@@ -59,6 +59,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "router-side ceiling per join/window request (0 = none)")
 		wait      = flag.Duration("wait", 30*time.Second, "how long to retry the startup fleet check before giving up")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty = off)")
+		traces    = flag.Int("traces", 0, "recent request traces to keep for GET /v1/traces (0 = default capacity)")
+		slowQuery = flag.Duration("slowquery", 0, "log a warning with the scatter breakdown for requests at least this slow (0 = off)")
 		shards    repeatable
 	)
 	flag.Var(&shards, "shard", "base URL of one sjserved shard (repeatable)")
@@ -76,15 +78,21 @@ func main() {
 		fail(err)
 	}
 
-	svc := shard.NewService(shard.ServiceConfig{Router: router, Timeout: *timeout, Logger: log})
+	svc := shard.NewService(shard.ServiceConfig{
+		Router: router, Timeout: *timeout, Logger: log,
+		Traces: *traces, SlowQuery: *slowQuery,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
 		// Same side-listener rule as sjserved: profiling never rides
-		// the query port, and a bind failure is fatal.
+		// the query port, a bind failure is fatal, and the handle is
+		// kept so the graceful drain closes this listener too.
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: httpapi.PprofMux()}
 		go func() {
 			log.Info("pprof listening", "addr", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, httpapi.PprofMux()); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fail(err)
 			}
 		}()
@@ -104,6 +112,11 @@ func main() {
 	}
 
 	log.Info("shutting down", "grace", shutdownGrace.String())
+	if pprofSrv != nil {
+		// Profiling sessions have no drain semantics worth waiting on;
+		// close the side listener immediately.
+		pprofSrv.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

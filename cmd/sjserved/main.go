@@ -79,6 +79,8 @@ func main() {
 		seed      = flag.Int64("seed", 1997, "generation seed for synthetic relations")
 		stripeStr = flag.String("stripe", "", "serve one stripe shard lo:hi of the data (either side may be empty; see internal/shard)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
+		traces    = flag.Int("traces", 0, "recent request traces to keep for GET /v1/traces (0 = default capacity)")
+		slowQuery = flag.Duration("slowquery", 0, "log a warning with the span breakdown for requests at least this slow (0 = off)")
 		loads     repeatable
 		unis      repeatable
 		tigers    repeatable
@@ -106,16 +108,31 @@ func main() {
 		fail(err)
 	}
 
-	srv := server.New(server.Config{Catalog: cat, Timeout: *timeout, Logger: log, Stripe: stripe})
+	// The workload histogram's bounds come from -region, so every shard
+	// of a fleet started with the same -region (the only sane way to
+	// run one) keeps bucket-compatible histograms a router can sum.
+	universe, err := unijoin.ParseRect(*region)
+	if err != nil {
+		fail(err)
+	}
+	srv := server.New(server.Config{
+		Catalog: cat, Timeout: *timeout, Logger: log, Stripe: stripe,
+		Traces: *traces, SlowQuery: *slowQuery,
+		WorkloadLo: float64(universe.XLo), WorkloadHi: float64(universe.XHi),
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
 		// The profiler rides its own listener, so it is never exposed
 		// on the query port; a failure to bind is fatal because asking
-		// for profiling and silently not getting it is worse.
+		// for profiling and silently not getting it is worse. The
+		// server handle is kept so the graceful drain closes this
+		// listener too instead of leaking it until process exit.
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: httpapi.PprofMux()}
 		go func() {
 			log.Info("pprof listening", "addr", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, httpapi.PprofMux()); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fail(err)
 			}
 		}()
@@ -135,6 +152,11 @@ func main() {
 	}
 
 	log.Info("shutting down", "grace", shutdownGrace.String())
+	if pprofSrv != nil {
+		// Profiling sessions have no drain semantics worth waiting on;
+		// close the side listener immediately.
+		pprofSrv.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -58,6 +58,16 @@ func runMetricLabel(pass *Pass) error {
 	return nil
 }
 
+// obsTraceAPI names obs's tracing surface, excluded from sink
+// marking: span names, attribute keys/values, and ring-buffer lookup
+// IDs are not metric label values — traces live in a bounded ring
+// buffer, so an unbounded string there cannot grow a time series the
+// way a label can.
+var obsTraceAPI = map[string]bool{
+	"Span": true, "Trace": true, "TraceStore": true,
+	"StartSpan": true, "NewSpanID": true,
+}
+
 // exportObsSinkFacts marks every string (or ...string / []string)
 // parameter of obs's exported functions and methods as a label sink.
 func exportObsSinkFacts(pass *Pass) {
@@ -77,7 +87,7 @@ func exportObsSinkFacts(pass *Pass) {
 	scope := pass.Pkg.Scope()
 	for _, name := range scope.Names() {
 		obj := scope.Lookup(name)
-		if !obj.Exported() {
+		if !obj.Exported() || obsTraceAPI[name] {
 			continue
 		}
 		switch o := obj.(type) {

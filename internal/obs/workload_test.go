@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWorkloadWindowBuckets(t *testing.T) {
+	w := NewWorkload(NewRegistry(), 0, 1000, 10) // buckets of width 100
+	w.ObserveWindow(150, 250)                    // overlaps buckets 1 and 2
+	w.ObserveWindow(950, 999)                    // bucket 9
+	w.ObserveWindow(500, 400)                    // inverted; swapped to buckets 4..5
+	s := w.Snapshot()
+	want := []int64{0, 1, 1, 0, 1, 1, 0, 0, 0, 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("snapshot has %d buckets, want %d", len(s.Buckets), len(want))
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Buckets[i], want[i], s.Buckets)
+		}
+	}
+	if s.Windowed != 3 || s.Unwindowed != 0 {
+		t.Fatalf("windowed/unwindowed = %d/%d, want 3/0", s.Windowed, s.Unwindowed)
+	}
+}
+
+func TestWorkloadClamping(t *testing.T) {
+	w := NewWorkload(NewRegistry(), 0, 1000, 10)
+	w.ObserveWindow(-500, -100) // entirely left of the universe → bucket 0
+	w.ObserveWindow(2000, 3000) // entirely right → bucket 9
+	s := w.Snapshot()
+	if s.Buckets[0] != 1 || s.Buckets[9] != 1 {
+		t.Fatalf("clamped windows landed at %v, want one in bucket 0 and one in bucket 9", s.Buckets)
+	}
+	var sum int64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != 2 {
+		t.Fatalf("bucket total = %d, want 2 (out-of-range windows must not spray)", sum)
+	}
+}
+
+func TestWorkloadQueries(t *testing.T) {
+	reg := NewRegistry()
+	w := NewWorkload(reg, 0, 1000, 4)
+	w.ObserveQuery("roads", "PBSM")
+	w.ObserveQuery("roads", "PBSM")
+	w.ObserveQuery("roads", "window")
+	w.ObserveQuery("hydro", "SSSJ")
+	w.ObserveUnwindowed()
+	s := w.Snapshot()
+	if got := s.Queries["roads"]["PBSM"]; got != 2 {
+		t.Fatalf("roads/PBSM = %d, want 2", got)
+	}
+	if got := s.Queries["hydro"]["SSSJ"]; got != 1 {
+		t.Fatalf("hydro/SSSJ = %d, want 1", got)
+	}
+	if s.Unwindowed != 1 {
+		t.Fatalf("unwindowed = %d, want 1", s.Unwindowed)
+	}
+	// The registry mirrors the counters: sj_queries_total must carry
+	// the same numbers a scrape would read.
+	text := reg.Render()
+	if !strings.Contains(text, `sj_queries_total{relation="roads",algorithm="PBSM"} 2`) {
+		t.Fatalf("rendered metrics missing the roads/PBSM counter:\n%s", text)
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	w := NewWorkload(nil, 5, 5, 0) // degenerate range and count → defaults
+	s := w.Snapshot()
+	if s.XLo != 0 || s.XHi != 1000 {
+		t.Fatalf("degenerate range became [%v, %v), want [0, 1000)", s.XLo, s.XHi)
+	}
+	if len(s.Buckets) != DefaultWorkloadBuckets {
+		t.Fatalf("bucket count = %d, want DefaultWorkloadBuckets = %d", len(s.Buckets), DefaultWorkloadBuckets)
+	}
+}
+
+func TestWorkloadConcurrent(t *testing.T) {
+	w := NewWorkload(NewRegistry(), 0, 1000, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				w.ObserveQuery("a", "PQ")
+				w.ObserveWindow(100, 110)
+				w.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := w.Snapshot()
+	if s.Windowed != 1000 || s.Queries["a"]["PQ"] != 1000 {
+		t.Fatalf("after 4×250 observations: windowed = %d, a/PQ = %d, want 1000/1000",
+			s.Windowed, s.Queries["a"]["PQ"])
+	}
+}

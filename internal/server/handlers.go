@@ -66,6 +66,16 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, badRequestErr(err))
 		return
 	}
+	// The workload recorder sees every accepted query: the relation
+	// names are catalog-validated above and the algorithm comes from
+	// the parsed set, so both are bounded label values.
+	s.workload.ObserveQuery(req.Left, alg.String())
+	s.workload.ObserveQuery(req.Right, alg.String())
+	if req.Window != nil {
+		s.workload.ObserveWindow(req.Window.XLo, req.Window.XHi)
+	} else {
+		s.workload.ObserveUnwindowed()
+	}
 	ctx, cancel := requestContext(r, req.TimeoutMillis)
 	defer cancel()
 
@@ -196,12 +206,17 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.observeJoin(alg.String(), elapsed.Seconds(), phases)
 	sum := joinSummary(req, alg, left, right, count, elapsed)
+	root := joinSpan(start, elapsed, res.PartitionWall, res.SweepWall, streamTime)
+	root.SetAttr("left", req.Left).SetAttr("right", req.Right).
+		SetAttr("algorithm", alg.String())
+	s.recordTrace(r, "join", root)
 	if req.Trace {
 		sum.Trace = &client.PhaseTrace{
 			PartitionMillis: phases.partition * 1000,
 			SweepMillis:     phases.sweep * 1000,
 			StreamMillis:    phases.stream * 1000,
 		}
+		sum.Spans = httpapi.SpanDTO(root)
 	}
 	if binary {
 		fs.WriteSummary(sum)
@@ -317,6 +332,10 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, badRequestErr(fmt.Errorf("window query needs a \"window\" rectangle")))
 		return
 	}
+	// Window queries always carry a rectangle, so they always feed the
+	// x-histogram; the relation name is catalog-validated above.
+	s.workload.ObserveQuery(req.Relation, "window")
+	s.workload.ObserveWindow(req.Window.XLo, req.Window.XHi)
 	ctx, cancel := requestContext(r, req.TimeoutMillis)
 	defer cancel()
 	// Pin once: the scan and the summary's Indexed field must describe
@@ -345,8 +364,10 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	// binary transport packs them directly — no float64 detour.
 	var recs []unijoin.Record
 	var out []client.RecordOut
+	var streamTime time.Duration
 	flushRecs := func() {
 		s.metrics.recordsStreamed.Add(int64(len(recs)))
+		t0 := time.Now()
 		if binary {
 			fs.WriteRecords(recs)
 		} else {
@@ -356,6 +377,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 			}
 			lw.WriteLine(client.WindowLine{Records: out})
 		}
+		streamTime += time.Since(t0)
 		recs = recs[:0]
 	}
 	if !req.CountOnly || s.stripe != nil {
@@ -392,11 +414,15 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	if s.stripe != nil {
 		n = owned
 	}
+	elapsed := time.Since(start)
+	root := windowSpan(start, elapsed, streamTime)
+	root.SetAttr("relation", req.Relation)
+	s.recordTrace(r, "window", root)
 	sum := &client.WindowSummary{
 		Relation:      req.Relation,
 		Records:       n,
 		Indexed:       pv.Indexed(),
-		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMillis: float64(elapsed.Microseconds()) / 1000,
 	}
 	if binary {
 		fs.WriteSummary(sum)

@@ -52,6 +52,12 @@ func withRequestID(ctx context.Context, id string) context.Context {
 	return context.WithValue(ctx, ridKey{}, id)
 }
 
+// requestIDFrom returns the request ID the middleware stored, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
 // withTimeout applies the server's per-request timeout ceiling to the
 // request context. The context already carries the client-disconnect
 // signal (net/http cancels it when the peer goes away), so handlers

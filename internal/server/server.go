@@ -64,6 +64,19 @@ type Config struct {
 	// serves its rendering). Nil gets a private registry, so an
 	// embedded server still counts — it just isn't scraped.
 	Registry *obs.Registry
+	// Traces caps the in-memory ring of recent request traces served
+	// on GET /v1/traces (0 = obs.DefaultTraceCapacity). Every join and
+	// window request records a span tree there, trace flag or not.
+	Traces int
+	// SlowQuery, when positive, logs one Warn line with the full span
+	// breakdown for every join or window whose wall time reaches it.
+	SlowQuery time.Duration
+	// WorkloadLo and WorkloadHi bound the query-window x-histogram the
+	// workload recorder keeps (Hi ≤ Lo falls back to the default
+	// 0..1000 universe). Every shard of a fleet must use the same
+	// bounds — sjserved derives them from -region — so a router can
+	// sum the histograms index-wise on /v1/stats.
+	WorkloadLo, WorkloadHi float64
 }
 
 // Server is the HTTP query service. Create with New, expose with
@@ -87,7 +100,10 @@ type Server struct {
 	// invalidates it on the next fetch.
 	xlo sync.Map
 
-	metrics *metrics
+	metrics  *metrics
+	traces   *obs.TraceStore
+	workload *obs.Workload
+	slow     time.Duration
 }
 
 // New builds a Server over cfg.Catalog.
@@ -115,13 +131,18 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		metrics: newMetrics(cfg.Registry),
+		traces:  obs.NewTraceStore(cfg.Traces),
+		slow:    cfg.SlowQuery,
 	}
+	s.workload = obs.NewWorkload(s.metrics.reg, cfg.WorkloadLo, cfg.WorkloadHi, obs.DefaultWorkloadBuckets)
 	// The exposition endpoint is deliberately uninstrumented: scrapes
 	// should not move the request counters they report.
 	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /v1/relations", s.instrument("relations", s.handleRelations))
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("GET /v1/traces", s.instrument("traces", httpapi.TracesHandler(s.traces)))
+	s.mux.Handle("GET /v1/traces/{id}", s.instrument("traces", httpapi.TraceByIDHandler(s.traces)))
 	s.mux.Handle("POST /v1/join", s.instrument("join", s.withTimeout(s.handleJoin)))
 	s.mux.Handle("POST /v1/window", s.instrument("window", s.withTimeout(s.handleWindow)))
 	s.mux.Handle("POST /v1/relations/{relation}/records", s.instrument("append", s.withTimeout(s.handleAppend)))
@@ -178,5 +199,17 @@ func (s *Server) Stats() client.Stats {
 		Compactions:           s.metrics.compactions.Value(),
 		DeltaRecords:          delta,
 		JoinLatencyEWMAMillis: s.metrics.joinEWMA.Snapshot(),
+		Workload:              workloadDTO(s.workload.Snapshot()),
+	}
+}
+
+// workloadDTO converts the recorder's snapshot to its wire form.
+func workloadDTO(w obs.WorkloadSnapshot) *client.WorkloadStats {
+	return &client.WorkloadStats{
+		XLo: w.XLo, XHi: w.XHi,
+		Buckets:    w.Buckets,
+		Windowed:   w.Windowed,
+		Unwindowed: w.Unwindowed,
+		Queries:    w.Queries,
 	}
 }

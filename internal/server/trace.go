@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"unijoin/internal/httpapi"
+	"unijoin/internal/obs"
+)
+
+// joinSpan assembles a join request's span tree from the phases the
+// engine and the handler measured. Partition leads; the sweep and the
+// stream both start when it ends (streaming happens from the sweep's
+// emit callbacks, so the two overlap rather than chain).
+func joinSpan(start time.Time, elapsed, partition, sweep, stream time.Duration) *obs.Span {
+	root := &obs.Span{
+		ID: obs.NewSpanID(), Name: "server.join",
+		Start: start, Duration: elapsed,
+	}
+	root.Child("partition", 0, partition)
+	root.Child("sweep", partition, sweep)
+	root.Child("stream", partition, stream)
+	return root
+}
+
+// windowSpan assembles a window request's span tree: the scan is
+// everything that wasn't spent encoding/flushing, and the stream child
+// interleaves it (emit callbacks run inside the scan), so both start
+// at the root.
+func windowSpan(start time.Time, elapsed, stream time.Duration) *obs.Span {
+	root := &obs.Span{
+		ID: obs.NewSpanID(), Name: "server.window",
+		Start: start, Duration: elapsed,
+	}
+	scan := elapsed - stream
+	if scan < 0 {
+		scan = 0
+	}
+	root.Child("scan", 0, scan)
+	root.Child("stream", 0, stream)
+	return root
+}
+
+// recordTrace stores a completed request's span tree in the trace
+// ring, keyed by the request ID the middleware minted (so GET
+// /v1/traces/{request-id} finds it), and emits the slow-query line
+// when the root crosses the configured threshold.
+func (s *Server) recordTrace(r *http.Request, kind string, root *obs.Span) {
+	rid := requestIDFrom(r.Context())
+	if rid == "" { // not under the instrument middleware (tests)
+		rid = obs.NewSpanID()
+	}
+	s.traces.Add(&obs.Trace{
+		ID:         rid,
+		Kind:       kind,
+		ParentSpan: httpapi.ParentSpan(r),
+		Root:       root,
+	})
+	if s.slow > 0 && root.Duration >= s.slow {
+		s.log.Warn("slow query",
+			"kind", kind,
+			"request_id", rid,
+			"elapsed", root.Duration.Round(time.Microsecond).String(),
+			"threshold", s.slow.String(),
+			"breakdown", root.Breakdown(),
+		)
+	}
+}

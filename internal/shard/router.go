@@ -208,9 +208,14 @@ func (r *Router) Verify(ctx context.Context) ([]client.Stats, error) {
 // count once per shard that loaded them) and reports the slowest
 // shard's elapsed time.
 func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(pairs [][2]uint32)) (*client.JoinSummary, error) {
+	return r.join(ctx, req, onBatch, nil)
+}
+
+// join is Join with optional per-leg tracing (ct may be nil).
+func (r *Router) join(ctx context.Context, req client.JoinRequest, onBatch func(pairs [][2]uint32), ct *callTrace) (*client.JoinSummary, error) {
 	var mu sync.Mutex
 	sums := make([]*client.JoinSummary, len(r.clients))
-	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+	err := r.scatter(ctx, r.traced(ct, func(ctx context.Context, i int, cl *client.Client) error {
 		var cb func([][2]uint32)
 		if onBatch != nil {
 			cb = func(batch [][2]uint32) {
@@ -224,8 +229,11 @@ func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(
 			return err
 		}
 		sums[i] = s
+		if ct != nil {
+			ct.calls[i].Spans = s.Spans
+		}
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -241,9 +249,14 @@ func (r *Router) Join(ctx context.Context, req client.JoinRequest, onBatch func(
 // client call, so the output is a well-formed frame stream either
 // way.
 func (r *Router) JoinFrames(ctx context.Context, req client.JoinRequest, onFrame func(raw []byte)) (*client.JoinSummary, error) {
+	return r.joinFrames(ctx, req, onFrame, nil)
+}
+
+// joinFrames is JoinFrames with optional per-leg tracing.
+func (r *Router) joinFrames(ctx context.Context, req client.JoinRequest, onFrame func(raw []byte), ct *callTrace) (*client.JoinSummary, error) {
 	var mu sync.Mutex
 	sums := make([]*client.JoinSummary, len(r.clients))
-	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+	err := r.scatter(ctx, r.traced(ct, func(ctx context.Context, i int, cl *client.Client) error {
 		var cb func([]byte)
 		if onFrame != nil {
 			cb = func(raw []byte) {
@@ -257,8 +270,11 @@ func (r *Router) JoinFrames(ctx context.Context, req client.JoinRequest, onFrame
 			return err
 		}
 		sums[i] = s
+		if ct != nil {
+			ct.calls[i].Spans = s.Spans
+		}
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +287,10 @@ func (r *Router) JoinFrames(ctx context.Context, req client.JoinRequest, onFrame
 // merge per phase by maximum.
 func mergeJoinSummaries(sums []*client.JoinSummary) *client.JoinSummary {
 	merged := *sums[0]
+	// A shard's span tree describes that shard alone; the serving
+	// layer replaces it with the router's own tree (scatter legs with
+	// the shard trees grafted underneath), so shard 0's must not leak.
+	merged.Spans = nil
 	if merged.Trace != nil {
 		// Clone: the merge below mutates the trace, which must not
 		// alias the first shard's summary.
@@ -311,9 +331,14 @@ func mergeTraces(a, b *client.PhaseTrace) *client.PhaseTrace {
 // exactly, Indexed reports whether every shard answered through an
 // R-tree, and the elapsed time is the slowest shard's.
 func (r *Router) Window(ctx context.Context, req client.WindowRequest, onBatch func([]client.RecordOut)) (*client.WindowSummary, error) {
+	return r.window(ctx, req, onBatch, nil)
+}
+
+// window is Window with optional per-leg tracing.
+func (r *Router) window(ctx context.Context, req client.WindowRequest, onBatch func([]client.RecordOut), ct *callTrace) (*client.WindowSummary, error) {
 	var mu sync.Mutex
 	sums := make([]*client.WindowSummary, len(r.clients))
-	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+	err := r.scatter(ctx, r.traced(ct, func(ctx context.Context, i int, cl *client.Client) error {
 		var cb func([]client.RecordOut)
 		if onBatch != nil {
 			cb = func(batch []client.RecordOut) {
@@ -328,7 +353,7 @@ func (r *Router) Window(ctx context.Context, req client.WindowRequest, onBatch f
 		}
 		sums[i] = s
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -338,9 +363,14 @@ func (r *Router) Window(ctx context.Context, req client.WindowRequest, onBatch f
 // WindowFrames is Window on the relay path, mirroring JoinFrames with
 // RECORDS frames.
 func (r *Router) WindowFrames(ctx context.Context, req client.WindowRequest, onFrame func(raw []byte)) (*client.WindowSummary, error) {
+	return r.windowFrames(ctx, req, onFrame, nil)
+}
+
+// windowFrames is WindowFrames with optional per-leg tracing.
+func (r *Router) windowFrames(ctx context.Context, req client.WindowRequest, onFrame func(raw []byte), ct *callTrace) (*client.WindowSummary, error) {
 	var mu sync.Mutex
 	sums := make([]*client.WindowSummary, len(r.clients))
-	err := r.scatter(ctx, func(ctx context.Context, i int, cl *client.Client) error {
+	err := r.scatter(ctx, r.traced(ct, func(ctx context.Context, i int, cl *client.Client) error {
 		var cb func([]byte)
 		if onFrame != nil {
 			cb = func(raw []byte) {
@@ -355,7 +385,7 @@ func (r *Router) WindowFrames(ctx context.Context, req client.WindowRequest, onF
 		}
 		sums[i] = s
 		return nil
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -561,6 +591,7 @@ func (r *Router) Stats(ctx context.Context) (*client.Stats, error) {
 			}
 			agg.JoinLatencyEWMAMillis[alg] = math.Max(agg.JoinLatencyEWMAMillis[alg], v)
 		}
+		agg.Workload = mergeWorkloads(agg.Workload, s.Workload)
 		ep := r.endpoints[i]
 		agg.ShardStats = append(agg.ShardStats, client.ShardStat{
 			Endpoint:          ep,
@@ -574,6 +605,56 @@ func (r *Router) Stats(ctx context.Context) (*client.Stats, error) {
 		})
 	}
 	return &agg, nil
+}
+
+// mergeWorkloads sums per-shard workload snapshots into the fleet
+// view. Every shard of a fleet sees every scattered query, so the
+// fleet's counts are K× a client's-eye count — but the shape of the
+// histogram, which is what the rebalancer reads, is exact. Histogram
+// buckets sum index-wise only when the shards agree on bounds and
+// resolution (sjserved derives both from -region, so a healthy fleet
+// always matches); a mismatched shard contributes its scalar counters
+// but is dropped from the bucket sum rather than misaligned into it.
+func mergeWorkloads(a, b *client.WorkloadStats) *client.WorkloadStats {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		// Clone: later merge steps mutate a in place, which must not
+		// reach back into the first shard's decoded stats.
+		c := *b
+		c.Buckets = append([]int64(nil), b.Buckets...)
+		c.Queries = make(map[string]map[string]int64, len(b.Queries))
+		for rel, m := range b.Queries {
+			inner := make(map[string]int64, len(m))
+			for alg, n := range m {
+				inner[alg] = n
+			}
+			c.Queries[rel] = inner
+		}
+		return &c
+	}
+	if a.XLo == b.XLo && a.XHi == b.XHi && len(a.Buckets) == len(b.Buckets) {
+		for i := range a.Buckets {
+			a.Buckets[i] += b.Buckets[i]
+		}
+	}
+	a.Windowed += b.Windowed
+	a.Unwindowed += b.Unwindowed
+	for rel, m := range b.Queries {
+		if a.Queries == nil {
+			a.Queries = make(map[string]map[string]int64)
+		}
+		inner := a.Queries[rel]
+		if inner == nil {
+			inner = make(map[string]int64, len(m))
+			a.Queries[rel] = inner
+		}
+		for alg, n := range m {
+			inner[alg] += n
+		}
+	}
+	return a
 }
 
 // ToStripe converts an interval to its wire form (nil bounds for the

@@ -24,6 +24,14 @@ type ServiceConfig struct {
 	Timeout time.Duration
 	// Logger receives one line per request; nil uses slog.Default().
 	Logger *slog.Logger
+	// Traces caps the in-memory ring of recent request traces served
+	// on GET /v1/traces (0 = obs.DefaultTraceCapacity). Every routed
+	// join and window records a span tree there — the root wraps the
+	// whole scatter, with one child per shard leg.
+	Traces int
+	// SlowQuery, when positive, logs one Warn line with the scatter
+	// breakdown for every join or window whose wall time reaches it.
+	SlowQuery time.Duration
 }
 
 // Service is the HTTP front of a Router: it speaks exactly the
@@ -36,6 +44,8 @@ type Service struct {
 	timeout time.Duration
 	log     *slog.Logger
 	mux     *http.ServeMux
+	traces  *obs.TraceStore
+	slow    time.Duration
 
 	// requests/latency/inFlight live in the router's registry, so one
 	// /metrics serves both the service's request families and the
@@ -64,6 +74,7 @@ func NewService(cfg ServiceConfig) *Service {
 	reg := cfg.Router.Registry()
 	s := &Service{
 		router: cfg.Router, timeout: cfg.Timeout, log: log, mux: http.NewServeMux(),
+		traces: obs.NewTraceStore(cfg.Traces), slow: cfg.SlowQuery,
 		requests: reg.CounterVec("sj_requests_total",
 			"HTTP requests served, by endpoint and status code.",
 			"endpoint", "status"),
@@ -83,6 +94,8 @@ func NewService(cfg ServiceConfig) *Service {
 	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /v1/relations", s.instrument("relations", s.handleRelations))
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.Handle("GET /v1/traces", s.instrument("traces", httpapi.TracesHandler(s.traces)))
+	s.mux.Handle("GET /v1/traces/{id}", s.instrument("traces", httpapi.TraceByIDHandler(s.traces)))
 	s.mux.Handle("POST /v1/join", s.instrument("join", s.handleJoin))
 	s.mux.Handle("POST /v1/window", s.instrument("window", s.handleWindow))
 	s.mux.Handle("POST /v1/relations/{relation}/records", s.instrument("append", s.handleAppend))
@@ -168,6 +181,8 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
+	ct := s.router.newCallTrace()
+	start := time.Now()
 
 	if wire.Negotiates(r) {
 		fw := s.newFrameWriter(w)
@@ -176,11 +191,12 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 		if !req.CountOnly {
 			onFrame = fw.Relay
 		}
-		sum, err := s.router.JoinFrames(ctx, req, onFrame)
+		sum, err := s.router.joinFrames(ctx, req, onFrame, ct)
 		if err != nil {
 			s.finishErrorFrames(fw, err)
 			return
 		}
+		s.finishJoinTrace(r, req, sum, start, ct)
 		fw.WriteSummary(sum)
 		fw.End()
 		return
@@ -194,12 +210,31 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 			lw.WriteLine(client.JoinLine{Pairs: batch})
 		}
 	}
-	sum, err := s.router.Join(ctx, req, onBatch)
+	sum, err := s.router.join(ctx, req, onBatch, ct)
 	if err != nil {
 		s.finishError(lw, err, func(e *client.APIError) any { return client.JoinLine{Error: e} })
 		return
 	}
+	s.finishJoinTrace(r, req, sum, start, ct)
 	lw.WriteLine(client.JoinLine{Summary: sum})
+}
+
+// finishJoinTrace closes out a routed join's span tree — the root
+// wraps the whole scatter, one child per shard leg with that shard's
+// phases grafted underneath — records it, and attaches it to the
+// summary when the request asked for a trace.
+func (s *Service) finishJoinTrace(r *http.Request, req client.JoinRequest, sum *client.JoinSummary, start time.Time, ct *callTrace) {
+	root := &obs.Span{
+		ID: obs.NewSpanID(), Name: "router.join",
+		Start: start, Duration: time.Since(start),
+	}
+	root.SetAttr("left", req.Left).SetAttr("right", req.Right).
+		SetAttr("algorithm", sum.Algorithm)
+	ct.attach(root)
+	s.recordTrace(r, "join", root)
+	if req.Trace {
+		sum.Spans = httpapi.SpanDTO(root)
+	}
 }
 
 func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
@@ -210,6 +245,8 @@ func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
+	ct := s.router.newCallTrace()
+	start := time.Now()
 
 	if wire.Negotiates(r) {
 		fw := s.newFrameWriter(w)
@@ -218,11 +255,12 @@ func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
 		if !req.CountOnly {
 			onFrame = fw.Relay
 		}
-		sum, err := s.router.WindowFrames(ctx, req, onFrame)
+		sum, err := s.router.windowFrames(ctx, req, onFrame, ct)
 		if err != nil {
 			s.finishErrorFrames(fw, err)
 			return
 		}
+		s.finishWindowTrace(r, req, start, ct)
 		fw.WriteSummary(sum)
 		fw.End()
 		return
@@ -236,12 +274,26 @@ func (s *Service) handleWindow(w http.ResponseWriter, r *http.Request) {
 			lw.WriteLine(client.WindowLine{Records: batch})
 		}
 	}
-	sum, err := s.router.Window(ctx, req, onBatch)
+	sum, err := s.router.window(ctx, req, onBatch, ct)
 	if err != nil {
 		s.finishError(lw, err, func(e *client.APIError) any { return client.WindowLine{Error: e} })
 		return
 	}
+	s.finishWindowTrace(r, req, start, ct)
 	lw.WriteLine(client.WindowLine{Summary: sum})
+}
+
+// finishWindowTrace mirrors finishJoinTrace for window queries. The
+// window wire summary carries no span tree, so the trace is reachable
+// only through GET /v1/traces on the router.
+func (s *Service) finishWindowTrace(r *http.Request, req client.WindowRequest, start time.Time, ct *callTrace) {
+	root := &obs.Span{
+		ID: obs.NewSpanID(), Name: "router.window",
+		Start: start, Duration: time.Since(start),
+	}
+	root.SetAttr("relation", req.Relation)
+	ct.attach(root)
+	s.recordTrace(r, "window", root)
 }
 
 // maxAppendBodyBytes mirrors internal/server's append body cap.
@@ -282,6 +334,32 @@ func (s *Service) requestContext(r *http.Request, timeoutMillis int64) (context.
 		return context.WithTimeout(ctx, timeout)
 	}
 	return context.WithCancel(ctx)
+}
+
+// recordTrace stores a routed request's span tree in the trace ring,
+// keyed by the request ID (the same ID the shards key their own
+// traces under, so one ID follows the query through every process),
+// and emits the slow-query line when the root crosses the threshold.
+func (s *Service) recordTrace(r *http.Request, kind string, root *obs.Span) {
+	rid := client.RequestIDFrom(r.Context())
+	if rid == "" { // not under the instrument middleware (tests)
+		rid = obs.NewSpanID()
+	}
+	s.traces.Add(&obs.Trace{
+		ID:         rid,
+		Kind:       kind,
+		ParentSpan: httpapi.ParentSpan(r),
+		Root:       root,
+	})
+	if s.slow > 0 && root.Duration >= s.slow {
+		s.log.Warn("slow query",
+			"kind", kind,
+			"request_id", rid,
+			"elapsed", root.Duration.Round(time.Microsecond).String(),
+			"threshold", s.slow.String(),
+			"breakdown", root.Breakdown(),
+		)
+	}
 }
 
 // finishError reports a failed scatter: as an HTTP status when

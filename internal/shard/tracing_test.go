@@ -1,0 +1,161 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"unijoin"
+	"unijoin/client"
+	"unijoin/internal/datagen"
+	"unijoin/internal/shard"
+)
+
+// TestDistributedTraceTree is the acceptance test for distributed
+// tracing: a traced join through client → router → 3 shards must
+// yield, on the router's GET /v1/traces/{id}, one router.join tree
+// with a scatter child per shard, each carrying that shard's
+// server.join subtree with the partition/sweep/stream phases — and
+// each shard must have recorded its own trace under the same request
+// ID with the scatter leg's span ID as its parent.
+func TestDistributedTraceTree(t *testing.T) {
+	rels := map[string][]unijoin.Record{
+		"a": datagen.Uniform(7, 1200, universe, 25),
+		"b": datagen.Uniform(8, 900, universe, 25),
+	}
+	plan, err := shard.PlanFromBoundaries(universe, []unijoin.Coord{333, 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, router, _ := startFleet(t, plan, []string{"a", "b"}, rels, true)
+	ctx := client.WithRequestID(context.Background(), "e2e-trace-1")
+
+	sum, err := cl.Join(ctx, client.JoinRequest{
+		Left: "a", Right: "b", Algorithm: "PBSM", Trace: true,
+	}, func(uint32, uint32) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Spans == nil || sum.Spans.Name != "router.join" {
+		t.Fatalf("summary.spans = %+v, want a router.join tree", sum.Spans)
+	}
+
+	det, err := cl.TraceByID(ctx, "e2e-trace-1")
+	if err != nil {
+		t.Fatalf("router GET /v1/traces/{id}: %v", err)
+	}
+	root := det.Root
+	if root.Name != "router.join" {
+		t.Fatalf("root span = %q, want router.join", root.Name)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root has %d scatter children, want one per shard (3)", len(root.Children))
+	}
+	// The root wraps the whole scatter, so it can be no shorter than
+	// the summary's elapsed (the slowest shard) and should sit within
+	// handler overhead of it.
+	if root.DurationMillis < sum.ElapsedMillis-1 {
+		t.Fatalf("router root %vms shorter than merged elapsed %vms", root.DurationMillis, sum.ElapsedMillis)
+	}
+	if root.DurationMillis-sum.ElapsedMillis > 500 {
+		t.Fatalf("router root %vms vs elapsed %vms: more than 500ms of unexplained overhead",
+			root.DurationMillis, sum.ElapsedMillis)
+	}
+
+	seenShards := map[string]bool{}
+	scatterIDs := map[string]string{} // shard endpoint → scatter span ID
+	for _, sc := range root.Children {
+		if sc.Name != "scatter" {
+			t.Fatalf("router child span = %q, want scatter", sc.Name)
+		}
+		ep := sc.Attrs["shard"]
+		if ep == "" {
+			t.Fatalf("scatter span %s has no shard attribute", sc.ID)
+		}
+		seenShards[ep] = true
+		scatterIDs[ep] = sc.ID
+		if len(sc.Children) != 1 || sc.Children[0].Name != "server.join" {
+			t.Fatalf("scatter[%s] children = %+v, want one grafted server.join", ep, sc.Children)
+		}
+		phases := map[string]bool{}
+		for _, p := range sc.Children[0].Children {
+			phases[p.Name] = true
+		}
+		for _, want := range []string{"partition", "sweep", "stream"} {
+			if !phases[want] {
+				t.Fatalf("scatter[%s] server.join phases = %v, missing %q", ep, phases, want)
+			}
+		}
+		// The grafted subtree is rebased onto the leg's start, so it
+		// must start at or after the scatter span and fit inside the
+		// router root's window (within rounding).
+		if sc.Children[0].StartMillis < sc.StartMillis-1 {
+			t.Fatalf("scatter[%s] grafted tree starts at %vms, before the leg's %vms",
+				ep, sc.Children[0].StartMillis, sc.StartMillis)
+		}
+	}
+	if len(seenShards) != 3 {
+		t.Fatalf("scatter spans name %d distinct shards, want 3: %v", len(seenShards), seenShards)
+	}
+
+	// Cross-process linkage: each shard recorded the same request ID,
+	// with the router's scatter span ID as its trace's parent.
+	for i, ep := range router.Endpoints() {
+		shardCl := client.New(ep, nil)
+		sdet, err := shardCl.TraceByID(ctx, "e2e-trace-1")
+		if err != nil {
+			t.Fatalf("shard %d GET /v1/traces/{id}: %v", i, err)
+		}
+		if sdet.Root.Name != "server.join" {
+			t.Fatalf("shard %d root = %q, want server.join", i, sdet.Root.Name)
+		}
+		if want := scatterIDs[ep]; sdet.ParentSpan != want {
+			t.Fatalf("shard %d parent span = %q, want the router's scatter span %q", i, sdet.ParentSpan, want)
+		}
+	}
+}
+
+// TestRouterWorkloadMerge checks the fleet-stats workload merge: every
+// shard sees every scattered query, so the front's histogram is the
+// index-wise sum (3× a client's-eye count on a 3-shard fleet) with the
+// distribution shape preserved, and the nested query counters sum.
+func TestRouterWorkloadMerge(t *testing.T) {
+	rels := map[string][]unijoin.Record{
+		"a": datagen.Uniform(7, 600, universe, 25),
+		"b": datagen.Uniform(8, 500, universe, 25),
+	}
+	plan, err := shard.PlanFromBoundaries(universe, []unijoin.Coord{333, 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _, _ := startFleet(t, plan, []string{"a", "b"}, rels, true)
+	ctx := context.Background()
+
+	// Two joins windowed into the first bucket (width 1000/32).
+	win := &client.Rect{XLo: 1, YLo: 1, XHi: 20, YHi: 999}
+	for i := 0; i < 2; i++ {
+		if _, err := cl.JoinCount(ctx, client.JoinRequest{
+			Left: "a", Right: "b", Algorithm: "PQ", Window: win,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := stats.Workload
+	if w == nil {
+		t.Fatal("router stats.workload missing")
+	}
+	// 2 windowed joins × 3 shards.
+	if w.Windowed != 6 {
+		t.Fatalf("merged windowed = %d, want 6 (2 joins × 3 shards)", w.Windowed)
+	}
+	if len(w.Buckets) == 0 || w.Buckets[0] != 6 {
+		t.Fatalf("merged bucket 0 = %v, want 6 (buckets: %v)", w.Buckets, w.Buckets)
+	}
+	if got := w.Queries["a"]["PQ"]; got != 6 {
+		t.Fatalf("merged a/PQ = %d, want 6", got)
+	}
+}
